@@ -1,0 +1,92 @@
+"""Benchmarks for the ablation experiments (beyond the paper's figures)."""
+
+from conftest import BENCH_SCALE, save_report
+
+from repro.experiments import (
+    banks_ablation,
+    egskew_ablation,
+    interference_study,
+    pas_extension,
+    skew_ablation,
+    update_ablation,
+)
+
+
+def test_banks_ablation(benchmark):
+    """Section 5.1's unreported 5-bank experiment."""
+
+    def regenerate():
+        return banks_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = banks_ablation.render(result)
+    save_report("ablation_banks", report)
+    print("\n" + report)
+    for per_config in result.results.values():
+        assert per_config["3 banks"] < per_config["1 bank"]
+
+
+def test_update_ablation(benchmark):
+    """Total vs partial vs lazy update."""
+
+    def regenerate():
+        return update_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = update_ablation.render(result)
+    save_report("ablation_update", report)
+    print("\n" + report)
+    for per_policy in result.results.values():
+        assert per_policy["partial"] <= per_policy["total"] * 1.02
+
+
+def test_skew_function_ablation(benchmark):
+    """Paper family vs xor-shift vs degenerate naive family."""
+
+    def regenerate():
+        return skew_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = skew_ablation.render(result)
+    save_report("ablation_skew_functions", report)
+    print("\n" + report)
+    for per_family in result.results.values():
+        assert per_family["skew"] < per_family["naive"]
+
+
+def test_egskew_bank0_ablation(benchmark):
+    """How much history should the tie-breaking bank see? (none)"""
+
+    def regenerate():
+        return egskew_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = egskew_ablation.render(result)
+    save_report("ablation_egskew_bank0", report)
+    print("\n" + report)
+
+
+def test_interference_study(benchmark):
+    """Destructive vs constructive aliasing (Young et al. claim)."""
+
+    def regenerate():
+        return interference_study.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = interference_study.render(result)
+    save_report("interference", report)
+    print("\n" + report)
+    for breakdown in result.results.values():
+        assert breakdown.destructive > breakdown.constructive
+
+
+def test_pas_extension(benchmark):
+    """Skewing applied to a per-address scheme (paper section 7)."""
+
+    def regenerate():
+        return pas_extension.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = pas_extension.render(result)
+    save_report("pas_extension", report)
+    print("\n" + report)

@@ -1,0 +1,143 @@
+"""Benchmarks for the extension experiments (beyond the paper)."""
+
+from conftest import BENCH_SCALE, save_report
+
+from repro.experiments import (
+    antialiasing_shootout,
+    encoding_ablation,
+    opt_replacement,
+    os_pressure,
+)
+
+
+def test_antialiasing_shootout(benchmark):
+    """gskew vs agree vs bi-mode vs gshare at matched budget."""
+
+    def regenerate():
+        return antialiasing_shootout.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = antialiasing_shootout.render(result)
+    save_report("shootout", report)
+    print("\n" + report)
+    means = result.mean_ratios()
+    # Every anti-aliasing design improves on plain gshare on average.
+    for design in ("gskew (partial)", "e-gskew", "agree", "bi-mode"):
+        assert means[design] <= means["gshare"] * 1.08
+
+
+def test_encoding_ablation(benchmark):
+    """Distributed encodings (future-work question 2)."""
+
+    def regenerate():
+        return encoding_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = encoding_ablation.render(result)
+    save_report("encoding", report)
+    print("\n" + report)
+
+
+def test_opt_vs_lru(benchmark):
+    """Replacement-policy slack in the 3Cs boundary."""
+
+    def regenerate():
+        return opt_replacement.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = opt_replacement.render(result)
+    save_report("opt_vs_lru", report)
+    print("\n" + report)
+    for series in result.curves.values():
+        for lru, opt in zip(series["lru"], series["opt"]):
+            assert opt <= lru + 1e-12
+
+
+def test_os_pressure(benchmark):
+    """Kernel share / scheduling quantum vs aliasing."""
+
+    def regenerate():
+        return os_pressure.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = os_pressure.render(result)
+    save_report("os_pressure", report)
+    print("\n" + report)
+
+
+def test_context_switch_ablation(benchmark):
+    """History pollution vs table pollution at context switches."""
+    from repro.experiments import context_switch_ablation
+
+    def regenerate():
+        return context_switch_ablation.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = context_switch_ablation.render(result)
+    save_report("context_switch", report)
+    print("\n" + report)
+    for per_variant in result.results.values():
+        assert per_variant["flush tables"] > per_variant["shared"]
+
+
+def test_robustness(benchmark):
+    """Seed-robustness of the headline claims (with significance)."""
+    from repro.experiments import robustness
+
+    def regenerate():
+        return robustness.run(scale=BENCH_SCALE, seeds=(1, 2, 3))
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = robustness.render(result)
+    save_report("robustness", report)
+    print("\n" + report)
+    assert result.win_rate("e-gskew vs gskew (h12)") >= 2 / 3
+
+
+def test_best_history(benchmark):
+    """Per-design best history length (paper section 6 guidance)."""
+    from repro.experiments import best_history
+
+    def regenerate():
+        return best_history.run(
+            scale=BENCH_SCALE, history_lengths=(0, 2, 4, 6, 8, 10, 12, 14)
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = best_history.render(result)
+    save_report("best_history", report)
+    print("\n" + report)
+    for bench_name in result.curves["gskew"]:
+        assert result.best("egskew", bench_name) >= result.best(
+            "gskew", bench_name
+        ) - 2
+
+
+def test_claims_checklist(benchmark):
+    """The executable paper-claims checklist must fully pass."""
+    from repro.experiments import claims
+
+    def regenerate():
+        return claims.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = claims.render(result)
+    save_report("claims", report)
+    print("\n" + report)
+    assert result.all_passed
+
+
+def test_workload_class(benchmark):
+    """OS-heavy vs single-process aliasing (the paper's motivation)."""
+    from repro.experiments import workload_class
+
+    def regenerate():
+        return workload_class.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = workload_class.render(result)
+    save_report("workload_class", report)
+    print("\n" + report)
+    assert result.class_mean("IBS-like", "misprediction") > result.class_mean(
+        "SPEC-like", "misprediction"
+    )

@@ -1,0 +1,69 @@
+"""Benchmarks regenerating Figures 5-8 (gskew vs the baselines)."""
+
+from conftest import BENCH_SCALE, save_report
+
+from repro.experiments import figure5, figure6, figure7, figure8
+
+
+def test_figure5(benchmark):
+    """Figure 5: misprediction vs size, gshare vs gskew, h=4."""
+
+    def regenerate():
+        return figure5.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure5.render(result)
+    save_report("figure5", report)
+    print("\n" + report)
+    # Shape: at the top of the grid, gskew (0.75x entries) >= gshare.
+    for bench in result.gshare:
+        assert result.gskew[bench][-1] <= result.gshare[bench][-1] * 1.10
+
+
+def test_figure6(benchmark):
+    """Figure 6: misprediction vs size, 12-bit history."""
+
+    def regenerate():
+        return figure6.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure6.render(result)
+    save_report("figure6", report)
+    print("\n" + report)
+    assert result.history_bits == 12
+
+
+def test_figure7(benchmark):
+    """Figure 7: 3x512 gskew vs 2k gshare across history lengths."""
+
+    def regenerate():
+        return figure7.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure7.render(result)
+    save_report("figure7", report)
+    print("\n" + report)
+    # Shape: gskew at 25% less storage wins most comparisons.
+    wins = comparisons = 0
+    for series in result.curves.values():
+        gskew, gshare = list(series.values())
+        for a, b in zip(gskew, gshare):
+            comparisons += 1
+            wins += a <= b * 1.03
+    assert wins >= comparisons // 2
+
+
+def test_figure8(benchmark):
+    """Figure 8: 3N gskew (partial/total) vs N-entry FA LRU."""
+
+    def regenerate():
+        return figure8.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure8.render(result)
+    save_report("figure8", report)
+    print("\n" + report)
+    for series in result.curves.values():
+        partial = series["gskew 3xN partial"]
+        total = series["gskew 3xN total"]
+        assert sum(partial) <= sum(total) * 1.02

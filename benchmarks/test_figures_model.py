@@ -1,0 +1,60 @@
+"""Benchmarks regenerating Figures 9-12 (model and e-gskew)."""
+
+from conftest import BENCH_SCALE, save_report
+
+from repro.experiments import figure9, figure10, figure11, figure12
+
+
+def test_figure9(benchmark):
+    """Figure 9: analytical P_dm vs P_sk, full range."""
+    result = benchmark(figure9.run)
+    report = figure9.render(result)
+    save_report("figure9", report)
+    print("\n" + report)
+    # Interior dominance of the skewed curve.
+    assert all(
+        sk <= dm
+        for dm, sk in zip(result.direct_mapped, result.skewed)
+    )
+
+
+def test_figure10(benchmark):
+    """Figure 10: the magnified small-p region."""
+    result = benchmark(figure10.run)
+    report = figure10.render(result)
+    save_report("figure10", report)
+    print("\n" + report)
+    assert result.magnified
+
+
+def test_figure11(benchmark):
+    """Figure 11: extrapolated vs measured gskew misprediction."""
+
+    def regenerate():
+        return figure11.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure11.render(result)
+    save_report("figure11", report)
+    print("\n" + report)
+    # Shape: the model tracks and (almost always) overestimates.
+    for series in result.curves.values():
+        for model, measured in zip(series["extrapolated"], series["measured"]):
+            assert model >= measured * 0.8
+
+
+def test_figure12(benchmark):
+    """Figure 12: enhanced gskew across history lengths."""
+
+    def regenerate():
+        return figure12.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = figure12.render(result)
+    save_report("figure12", report)
+    print("\n" + report)
+    # Shape: e-gskew >= gskew at the longest history, every benchmark.
+    for series in result.curves.values():
+        names = list(series)
+        egskew, gskew = series[names[0]], series[names[1]]
+        assert egskew[-1] <= gskew[-1] * 1.03

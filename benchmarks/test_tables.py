@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Tables 1 and 2."""
+
+from conftest import BENCH_SCALE, save_report
+
+from repro.experiments import table1, table2
+
+
+def test_table1(benchmark):
+    """Table 1: conditional branch counts of the six IBS clones."""
+
+    def regenerate():
+        return table1.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = table1.render(result)
+    save_report("table1", report)
+    print("\n" + report)
+    assert len(result.rows) == 6
+
+
+def test_table2(benchmark):
+    """Table 2: the ideal unaliased predictor at h=4 and h=12."""
+
+    def regenerate():
+        return table2.run(scale=BENCH_SCALE)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    report = table2.render(result)
+    save_report("table2", report)
+    print("\n" + report)
+    # Shape check: 2-bit beats 1-bit on every row (the paper's finding).
+    assert all(r.mispredict_2bit <= r.mispredict_1bit for r in result.rows)

@@ -1,0 +1,59 @@
+"""Aliasing analysis: decompose a workload's aliasing into the 3Cs.
+
+Reproduces the paper's measurement methodology on one workload:
+
+1. tag a direct-mapped table with (address, history) pairs and count
+   aliasing occurrences (total aliasing);
+2. run a fully-associative LRU tag store of the same size (compulsory +
+   capacity);
+3. the difference is conflict aliasing — the component the skewed
+   predictor removes;
+4. classify every aliased access as destructive / harmless /
+   constructive against an unaliased shadow predictor.
+
+Run:  python examples/aliasing_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro.aliasing import classify_interference, measure_aliasing
+from repro.traces.synthetic.workloads import ibs_trace
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "real_gcc"
+    history_bits = 8
+    trace = ibs_trace(benchmark, scale=0.5)
+    print(
+        f"workload {benchmark}: {trace.conditional_count} conditional "
+        f"branches, {trace.static_conditional_count} static"
+    )
+
+    print(f"\n3Cs decomposition (gshare indexing, {history_bits}-bit history)")
+    print(f"{'entries':>8s} {'total':>8s} {'compuls.':>9s} "
+          f"{'capacity':>9s} {'conflict':>9s}")
+    for entries in (64, 256, 1024, 4096):
+        breakdown = measure_aliasing(
+            trace, entries, history_bits, schemes=("gshare",)
+        )["gshare"]
+        print(
+            f"{entries:>8d} {breakdown.total:>7.2%} "
+            f"{breakdown.compulsory:>8.2%} {breakdown.capacity:>8.2%} "
+            f"{breakdown.conflict:>8.2%}"
+        )
+    print("\nnote how capacity vanishes with size while conflict persists —")
+    print("that residue is what associativity (or skewing) removes.")
+
+    entries = 1024
+    breakdown = classify_interference(trace, entries, history_bits)
+    print(f"\ninterference classification ({entries}-entry gshare table):")
+    print(f"  destructive : {breakdown.destructive:>7d}")
+    print(f"  harmless    : {breakdown.harmless:>7d}")
+    print(f"  constructive: {breakdown.constructive:>7d}")
+    ratio = breakdown.destructive / max(1, breakdown.constructive)
+    print(f"destructive aliasing is {ratio:.1f}x more common than "
+          "constructive — removing aliases is (almost) always a win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: predict branches with a skewed branch predictor.
+
+Builds the paper's headline configuration (3-bank gskew, 2-bit counters,
+partial update), runs it over an IBS-clone trace, and compares it against
+a gshare predictor with MORE storage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SkewedPredictor, ibs_trace, make_predictor, simulate
+
+
+def main() -> None:
+    # A workload: the groff IBS clone (multi-process + OS activity).
+    trace = ibs_trace("groff", scale=0.5)
+    print(f"workload: {trace.name}, {trace.conditional_count} conditional branches")
+
+    # The paper's predictor: 3 banks of 1K 2-bit counters, 4-bit global
+    # history, partial update.  Total 3072 entries = 6144 bits.
+    gskew = SkewedPredictor(
+        bank_index_bits=10,
+        history_bits=4,
+        banks=3,
+        counter_bits=2,
+        update_policy="partial",
+    )
+
+    # The baseline: a single-bank gshare with 4096 entries = 8192 bits,
+    # i.e. 33% more storage than the gskew above.
+    gshare = make_predictor("gshare:4k:h4")
+
+    gskew_result = simulate(gskew, trace)
+    gshare_result = simulate(gshare, trace)
+
+    print(f"\n{'predictor':24s} {'storage':>10s} {'misprediction':>14s}")
+    for result in (gskew_result, gshare_result):
+        print(
+            f"{result.predictor:24s} {result.storage_bits:>9d}b "
+            f"{result.misprediction_ratio:>13.2%}"
+        )
+
+    better = gskew_result.misprediction_ratio <= gshare_result.misprediction_ratio
+    print(
+        "\ngskew uses 25% less storage and mispredicts "
+        + ("less — conflict aliasing removed." if better else "about the same.")
+    )
+
+    # You can also predict branch-by-branch with the low-level API:
+    gskew.reset()
+    prediction = gskew.predict(0x400100)  # speculate...
+    gskew.predict_and_update(0x400100, taken=True)  # ...then resolve
+    print(f"\nsingle-branch API: first prediction for 0x400100 was "
+          f"{'taken' if prediction else 'not taken'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+No pyproject.toml on purpose: pip's isolated (PEP 517) builds download
+setuptools/wheel from the network, and this repository targets offline
+environments.  The setup.py/setup.cfg path installs with whatever
+setuptools is already present.
+"""
+
+from setuptools import setup
+
+setup()

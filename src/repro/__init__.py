@@ -1,0 +1,50 @@
+"""repro — reproduction of Michaud, Seznec & Uhlig (ISCA 1997):
+"Trading Conflict and Capacity Aliasing in Conditional Branch Predictors".
+
+Public API quick map:
+
+- :class:`repro.SkewedPredictor` / :class:`repro.EnhancedSkewedPredictor`
+  — the paper's contribution (gskew / e-gskew);
+- :mod:`repro.predictors` — gshare, gselect, bimodal, fully-associative
+  LRU, unaliased, hybrid, PAs baselines;
+- :mod:`repro.aliasing` — the 3Cs aliasing decomposition and
+  interference classification;
+- :mod:`repro.model` — the analytical destructive-aliasing model;
+- :mod:`repro.traces` — trace type, statistics, I/O, and the synthetic
+  IBS-clone workloads;
+- :func:`repro.simulate` / :func:`repro.make_predictor` — run anything
+  over anything;
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core.egskew import EnhancedSkewedPredictor
+from repro.core.gskew import SkewedPredictor
+from repro.core.update import UpdatePolicy
+from repro.predictors.base import BranchPredictor
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.traces.synthetic.workloads import (
+    IBS_BENCHMARKS,
+    all_ibs_traces,
+    ibs_trace,
+)
+from repro.traces.trace import BranchRecord, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnhancedSkewedPredictor",
+    "SkewedPredictor",
+    "UpdatePolicy",
+    "BranchPredictor",
+    "make_predictor",
+    "simulate",
+    "SimulationResult",
+    "IBS_BENCHMARKS",
+    "all_ibs_traces",
+    "ibs_trace",
+    "BranchRecord",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Aliasing measurement: 3Cs decomposition, interference, distances."""
+
+from repro.aliasing.distance import (
+    FenwickTree,
+    LastUseDistanceTracker,
+    distance_histogram,
+)
+from repro.aliasing.interference import (
+    InterferenceBreakdown,
+    classify_interference,
+)
+from repro.aliasing.lru_table import FullyAssociativeLRUTable
+from repro.aliasing.opt_table import OptResult, simulate_opt
+from repro.aliasing.tagged_table import TaggedDirectMappedTable
+from repro.aliasing.three_cs import (
+    AliasingBreakdown,
+    measure_aliasing,
+    pair_index_fn,
+    pair_stream,
+)
+
+__all__ = [
+    "FenwickTree",
+    "LastUseDistanceTracker",
+    "distance_histogram",
+    "InterferenceBreakdown",
+    "classify_interference",
+    "FullyAssociativeLRUTable",
+    "OptResult",
+    "simulate_opt",
+    "TaggedDirectMappedTable",
+    "AliasingBreakdown",
+    "measure_aliasing",
+    "pair_index_fn",
+    "pair_stream",
+]

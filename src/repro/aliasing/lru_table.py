@@ -1,0 +1,64 @@
+"""Fully-associative LRU tag store for compulsory + capacity measurement.
+
+An N-entry fully-associative table with LRU replacement misses only on
+first encounters (compulsory) and on references whose last-use distance
+exceeds N (capacity).  Its miss ratio is therefore the conflict-free
+floor against which the direct-mapped aliasing ratio is compared in the
+3Cs decomposition (Figures 1 and 2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Set
+
+__all__ = ["FullyAssociativeLRUTable"]
+
+
+class FullyAssociativeLRUTable:
+    """N-entry fully-associative LRU tag store over hashable keys."""
+
+    __slots__ = ("entries", "_table", "_ever_seen", "accesses", "misses",
+                 "compulsory_misses")
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError(f"entry count must be >= 1, got {entries}")
+        self.entries = entries
+        self._table: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._ever_seen: Set[Hashable] = set()
+        self.accesses = 0
+        self.misses = 0
+        self.compulsory_misses = 0
+
+    def access(self, key: Hashable) -> bool:
+        """Record an access; returns True on a miss."""
+        self.accesses += 1
+        if key in self._table:
+            self._table.move_to_end(key)
+            return False
+        self.misses += 1
+        if key not in self._ever_seen:
+            self.compulsory_misses += 1
+            self._ever_seen.add(key)
+        if len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[key] = None
+        return True
+
+    @property
+    def capacity_misses(self) -> int:
+        """Misses on previously-seen keys (distance >= table size)."""
+        return self.misses - self.compulsory_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Clear all entries and counters."""
+        self._table.clear()
+        self._ever_seen.clear()
+        self.accesses = 0
+        self.misses = 0
+        self.compulsory_misses = 0

@@ -1,0 +1,79 @@
+"""Direct-mapped tables tagged with full (address, history) pairs.
+
+This is the paper's aliasing-measurement instrument (section 2): a
+structure with the same entry count and index function as a predictor
+table, but storing *the identity of the last pair that touched each
+entry* instead of a counter.  An access whose stored pair differs from
+the indexing pair is an aliasing occurrence; the aliasing ratio is
+occurrences over dynamic conditional branches.  "Our simulated tagged
+table is like a cache with a line size of one datum, and an aliasing
+occurrence corresponds to a cache miss."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+__all__ = ["TaggedDirectMappedTable"]
+
+
+class TaggedDirectMappedTable:
+    """Tag store measuring total aliasing under a given index function.
+
+    Args:
+        entries: table size (any positive integer; experiment code uses
+            powers of two).
+        index_fn: maps the access key (an (address, history) pair or any
+            hashable) to an entry index in ``[0, entries)``.
+    """
+
+    __slots__ = ("entries", "index_fn", "_tags", "accesses", "misses",
+                 "cold_misses")
+
+    def __init__(
+        self,
+        entries: int,
+        index_fn: Callable[[Hashable], int],
+    ):
+        if entries < 1:
+            raise ValueError(f"entry count must be >= 1, got {entries}")
+        self.entries = entries
+        self.index_fn = index_fn
+        self._tags: list = [None] * entries
+        self.accesses = 0
+        self.misses = 0
+        self.cold_misses = 0
+
+    def access(self, key: Hashable) -> bool:
+        """Record an access; returns True on an aliasing occurrence (miss).
+
+        The first touch of an empty entry is counted as a miss (it is a
+        compulsory occurrence, separated out in :attr:`cold_misses`),
+        mirroring cache-miss accounting.
+        """
+        self.accesses += 1
+        index = self.index_fn(key)
+        stored = self._tags[index]
+        if stored == key:
+            return False
+        if stored is None:
+            self.cold_misses += 1
+        self.misses += 1
+        self._tags[index] = key
+        return True
+
+    def peek(self, key: Hashable) -> Optional[Hashable]:
+        """Pair currently occupying the entry ``key`` maps to."""
+        return self._tags[self.index_fn(key)]
+
+    @property
+    def miss_ratio(self) -> float:
+        """Aliasing ratio: occurrences over accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Clear all entries and counters."""
+        self._tags = [None] * self.entries
+        self.accesses = 0
+        self.misses = 0
+        self.cold_misses = 0

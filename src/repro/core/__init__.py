@@ -1,0 +1,44 @@
+"""Core contribution: skewed predictors and their building blocks."""
+
+from repro.core.bank import PredictorBank
+from repro.core.bcgskew import BcGskewPredictor
+from repro.core.counters import CounterArray, SaturatingCounter
+from repro.core.egskew import EnhancedSkewedPredictor
+from repro.core.gskew import SkewedPredictor
+from repro.core.history import GlobalHistory, PerAddressHistory
+from repro.core.shared_hysteresis import SharedHysteresisSkewedPredictor
+from repro.core.skew import (
+    decompose,
+    pack_vector,
+    shuffle_h,
+    shuffle_h_inverse,
+    skew_f0,
+    skew_f1,
+    skew_f2,
+    skew_function_family,
+)
+from repro.core.update import UpdatePolicy
+from repro.core.vote import majority, majority3
+
+__all__ = [
+    "PredictorBank",
+    "BcGskewPredictor",
+    "CounterArray",
+    "SaturatingCounter",
+    "EnhancedSkewedPredictor",
+    "SkewedPredictor",
+    "GlobalHistory",
+    "SharedHysteresisSkewedPredictor",
+    "PerAddressHistory",
+    "decompose",
+    "pack_vector",
+    "shuffle_h",
+    "shuffle_h_inverse",
+    "skew_f0",
+    "skew_f1",
+    "skew_f2",
+    "skew_function_family",
+    "UpdatePolicy",
+    "majority",
+    "majority3",
+]

@@ -1,0 +1,71 @@
+"""A tag-less predictor bank: an index function over a counter array.
+
+This is the unit from which every table-based scheme in the paper is
+assembled.  A bank holds ``2^index_bits`` saturating counters and is
+addressed by an arbitrary index function of the information vector; it
+never stores tags — ambiguity between the substreams that share an entry
+is precisely the aliasing the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.counters import CounterArray
+
+__all__ = ["PredictorBank"]
+
+
+class PredictorBank:
+    """One tag-less bank of saturating counters.
+
+    Args:
+        index_bits: log2 of the number of entries.
+        index_fn: maps an information vector to an entry index.  The
+            function is trusted to return values in ``[0, 2^index_bits)``;
+            all families in :mod:`repro.core.skew` and the gshare/gselect
+            index functions guarantee this.
+        counter_bits: width of each saturating counter (1 or 2 in the
+            paper).
+    """
+
+    __slots__ = ("index_bits", "entries", "index_fn", "counters")
+
+    def __init__(
+        self,
+        index_bits: int,
+        index_fn: Callable[[int], int],
+        counter_bits: int = 2,
+    ):
+        if index_bits < 0:
+            raise ValueError(f"index_bits must be >= 0, got {index_bits}")
+        self.index_bits = index_bits
+        self.entries = 1 << index_bits
+        self.index_fn = index_fn
+        self.counters = CounterArray(self.entries, bits=counter_bits)
+
+    def index(self, vector: int) -> int:
+        """Entry selected by ``vector``."""
+        return self.index_fn(vector)
+
+    def predict(self, vector: int) -> bool:
+        """Direction predicted by the entry ``vector`` maps to."""
+        return self.counters.prediction(self.index_fn(vector))
+
+    def train(self, vector: int, taken: bool) -> None:
+        """Saturating update of the entry ``vector`` maps to."""
+        self.counters.update(self.index_fn(vector), taken)
+
+    def reset(self) -> None:
+        """Return every counter to the weakly-taken reset state."""
+        self.counters.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entries * self.counters.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PredictorBank(entries={self.entries}, "
+            f"counter_bits={self.counters.bits})"
+        )

@@ -1,0 +1,93 @@
+"""Branch-history registers.
+
+The paper's global-history schemes condition predictions on a shift
+register of recent branch directions.  Following section 3.1, the global
+register shifts in *unconditional* branches as well as conditional ones
+("we include unconditional branches as part of the global-history bits");
+the trace substrate tags records accordingly.
+
+:class:`GlobalHistory` is the single shared register used by gshare,
+gselect and gskew.  :class:`PerAddressHistory` provides the first-level
+table of a two-level PAs scheme (paper section 7 future work).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GlobalHistory", "PerAddressHistory"]
+
+
+class GlobalHistory:
+    """A ``bits``-wide global branch-history shift register.
+
+    The most recent outcome occupies the least-significant bit, matching
+    the vector layout ``V = (a_N .. a_2, h_k .. h_1)`` where ``h_1`` is the
+    most recent direction.
+    """
+
+    __slots__ = ("bits", "value", "_mask")
+
+    def __init__(self, bits: int, value: int = 0):
+        if bits < 0:
+            raise ValueError(f"history width must be >= 0, got {bits}")
+        self.bits = bits
+        self._mask = (1 << bits) - 1 if bits else 0
+        self.value = value & self._mask
+
+    def push(self, taken: bool) -> None:
+        """Shift the outcome of the latest branch into the register."""
+        if self.bits == 0:
+            return
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self._mask
+
+    def reset(self, value: int = 0) -> None:
+        """Set the register to ``value`` (default: cleared)."""
+        self.value = value & self._mask
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.bits == 0:
+            return "GlobalHistory(bits=0)"
+        return f"GlobalHistory(bits={self.bits}, value={self.value:0{self.bits}b})"
+
+
+class PerAddressHistory:
+    """First-level history table of a per-address (PAs) scheme.
+
+    Holds ``2^index_bits`` independent ``bits``-wide shift registers,
+    selected by low-order branch-address bits (word aligned).
+    """
+
+    __slots__ = ("bits", "index_bits", "_mask", "_index_mask", "table")
+
+    def __init__(self, index_bits: int, bits: int):
+        if index_bits < 0:
+            raise ValueError(f"index width must be >= 0, got {index_bits}")
+        if bits < 0:
+            raise ValueError(f"history width must be >= 0, got {bits}")
+        self.bits = bits
+        self.index_bits = index_bits
+        self._mask = (1 << bits) - 1 if bits else 0
+        self._index_mask = (1 << index_bits) - 1 if index_bits else 0
+        self.table = [0] * (1 << index_bits)
+
+    def _slot(self, address: int) -> int:
+        return (address >> 2) & self._index_mask
+
+    def read(self, address: int) -> int:
+        """History register value for the branch at ``address``."""
+        return self.table[self._slot(address)]
+
+    def push(self, address: int, taken: bool) -> None:
+        """Shift an outcome into the register of ``address``."""
+        if self.bits == 0:
+            return
+        slot = self._slot(address)
+        self.table[slot] = (
+            (self.table[slot] << 1) | (1 if taken else 0)
+        ) & self._mask
+
+    def reset(self) -> None:
+        """Clear every per-address register."""
+        self.table = [0] * len(self.table)

@@ -1,0 +1,171 @@
+"""Distributed predictor encodings: a shared-hysteresis skewed predictor.
+
+Paper section 7, future-work question 2: "In our simulations we adopted
+the standard 2-bit predictor encodings and simply replicated them across
+3 banks.  Do there exist alternative 'distributed' predictor encodings
+that are more space efficient, and more robust against aliasing?"
+
+This module implements the answer the gskew lineage later shipped in the
+Alpha EV8 predictor: split each 2-bit counter into a *direction* bit and
+a *hysteresis* bit and under-provision the hysteresis — each bank keeps
+one hysteresis bit per ``2^sharing`` direction entries (adjacent entries
+share).  For 3 banks of N entries with 2-way sharing this costs
+3 * (N + N/2) = 4.5N bits instead of 6N (a 25% saving); 4-way sharing
+costs 3.75N.
+
+Semantics: the (direction, hysteresis) pair behaves as the 2-bit
+saturating counter with value ``2*direction + hysteresis``; entries that
+share a hysteresis bit perturb each other's weak/strong state but keep
+private directions — hysteresis aliasing is much cheaper than direction
+aliasing, which is exactly why this trade works.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.skew import (
+    SkewingFunction,
+    pack_vector,
+    skew_function_family,
+)
+from repro.core.update import UpdatePolicy
+from repro.core.vote import majority
+from repro.predictors.base import GlobalHistoryPredictor
+
+__all__ = ["SharedHysteresisSkewedPredictor"]
+
+
+class SharedHysteresisSkewedPredictor(GlobalHistoryPredictor):
+    """3-bank skewed predictor with split direction / shared hysteresis.
+
+    Args:
+        bank_index_bits: log2 of the per-bank direction-array size.
+        history_bits: global-history length.
+        sharing: log2 of the number of adjacent direction entries that
+            share one hysteresis bit (0 = private hysteresis, i.e. a
+            plain 2-bit counter split in two arrays; 1 = EV8-style
+            2-way sharing; 2 = 4-way).
+        update_policy: total / partial / lazy, as for
+            :class:`~repro.core.gskew.SkewedPredictor`.
+        functions: optional custom index-function family.
+    """
+
+    name = "gskew-shared-hysteresis"
+
+    def __init__(
+        self,
+        bank_index_bits: int,
+        history_bits: int,
+        sharing: int = 1,
+        update_policy: "UpdatePolicy | str" = UpdatePolicy.PARTIAL,
+        functions: Optional[Sequence[SkewingFunction]] = None,
+    ):
+        super().__init__(history_bits)
+        if not 0 <= sharing <= bank_index_bits:
+            raise ValueError(
+                f"sharing must be in [0, {bank_index_bits}], got {sharing}"
+            )
+        self.bank_index_bits = bank_index_bits
+        self.sharing = sharing
+        self.update_policy = UpdatePolicy.parse(update_policy)
+        if functions is None:
+            functions = skew_function_family(bank_index_bits, 3)
+        elif len(functions) != 3:
+            raise ValueError(
+                f"need exactly 3 index functions, got {len(functions)}"
+            )
+        self.functions: List[SkewingFunction] = list(functions)
+        size = 1 << bank_index_bits
+        hysteresis_size = size >> sharing
+        # Direction bits start "taken", hysteresis "weak": together the
+        # weakly-taken reset state (2) of a standard 2-bit counter.
+        self.directions: List[List[int]] = [[1] * size for _ in range(3)]
+        self.hysteresis: List[List[int]] = [
+            [0] * hysteresis_size for _ in range(3)
+        ]
+
+    # -- counter emulation ------------------------------------------------
+
+    @staticmethod
+    def _step(direction: int, hysteresis: int, taken: bool):
+        """One saturating step of the split 2-bit counter."""
+        value = 2 * direction + hysteresis
+        if taken:
+            value = min(3, value + 1)
+        else:
+            value = max(0, value - 1)
+        return value >> 1, value & 1
+
+    def _update_bank(self, bank: int, index: int, taken: bool) -> None:
+        h_index = index >> self.sharing
+        direction, hysteresis = self._step(
+            self.directions[bank][index],
+            self.hysteresis[bank][h_index],
+            taken,
+        )
+        self.directions[bank][index] = direction
+        self.hysteresis[bank][h_index] = hysteresis
+
+    # -- BranchPredictor interface -----------------------------------------
+
+    def vector(self, address: int) -> int:
+        """Information vector for ``address`` under the current history."""
+        return pack_vector(address, self.history.value, self.history.bits)
+
+    def predict(self, address: int) -> bool:
+        v = self.vector(address)
+        return majority(
+            [
+                self.directions[bank][self.functions[bank](v)] == 1
+                for bank in range(3)
+            ]
+        )
+
+    def train(self, address: int, taken: bool) -> None:
+        v = self.vector(address)
+        indices = [self.functions[bank](v) for bank in range(3)]
+        predictions = [
+            self.directions[bank][indices[bank]] == 1 for bank in range(3)
+        ]
+        overall = majority(predictions)
+
+        policy = self.update_policy
+        if policy is UpdatePolicy.LAZY and overall == taken:
+            return
+        update_all = policy is not UpdatePolicy.PARTIAL or overall != taken
+        for bank in range(3):
+            if update_all or predictions[bank] == taken:
+                self._update_bank(bank, indices[bank], taken)
+
+    def predict_and_update(self, address: int, taken: bool) -> bool:
+        v = pack_vector(address, self.history.value, self.history.bits)
+        indices = [self.functions[bank](v) for bank in range(3)]
+        predictions = [
+            self.directions[bank][indices[bank]] == 1 for bank in range(3)
+        ]
+        overall = majority(predictions)
+        policy = self.update_policy
+        if not (policy is UpdatePolicy.LAZY and overall == taken):
+            update_all = (
+                policy is not UpdatePolicy.PARTIAL or overall != taken
+            )
+            for bank in range(3):
+                if update_all or predictions[bank] == taken:
+                    self._update_bank(bank, indices[bank], taken)
+        self.history.push(taken)
+        return overall
+
+    def reset(self) -> None:
+        size = 1 << self.bank_index_bits
+        self.directions = [[1] * size for _ in range(3)]
+        self.hysteresis = [
+            [0] * (size >> self.sharing) for _ in range(3)
+        ]
+        self.reset_history()
+
+    @property
+    def storage_bits(self) -> int:
+        """3 x (direction array + shared hysteresis array), 1 bit each."""
+        size = 1 << self.bank_index_bits
+        return 3 * (size + (size >> self.sharing))

@@ -1,0 +1,205 @@
+"""Inter-bank dispersion (skewing) functions.
+
+This module implements the hashing-function family used by the skewed
+branch predictor (paper section 4.2).  The functions are the ones proposed
+for the skewed-associative cache by Seznec and Bodin: a bit-shuffle ``H``
+(and its inverse) combined by XOR into three mapping functions ``f0``,
+``f1`` and ``f2``.
+
+The information vector ``V`` is the concatenation of the branch address
+(word-aligned, so bits ``a_N .. a_2``) and ``k`` bits of global history:
+``V = (a_N, ..., a_2, h_k, ..., h_1)``.  For an ``n``-bit bank index, the
+vector is decomposed as ``V = (V3, V2, V1)`` where ``V1`` and ``V2`` are
+the two low-order ``n``-bit substrings and ``V3`` is whatever remains.
+
+The key dispersion property (asserted by property tests in
+``tests/core/test_skew.py``) is: if two distinct vectors with equal high
+parts collide under one of the ``f_i``, they do *not* collide under the
+other two unless their low ``2n`` bits are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = [
+    "shuffle_h",
+    "shuffle_h_inverse",
+    "decompose",
+    "pack_vector",
+    "SkewingFunction",
+    "skew_f0",
+    "skew_f1",
+    "skew_f2",
+    "skew_function_family",
+    "xor_shift_family",
+    "naive_family",
+]
+
+
+def shuffle_h(y: int, n: int) -> int:
+    """The one-bit shuffle ``H`` over ``n``-bit strings.
+
+    ``H(y_n, y_{n-1}, ..., y_1) = (y_n XOR y_1, y_n, y_{n-1}, ..., y_3, y_2)``
+
+    In integer terms this is a right rotate where the bit fed back into the
+    most-significant position is ``y_n XOR y_1``.  ``H`` is a bijection on
+    ``{0, ..., 2^n - 1}`` (see :func:`shuffle_h_inverse`).
+
+    Args:
+        y: the input value; only its low ``n`` bits are used.
+        n: bit width (must be >= 1).
+
+    Returns:
+        The shuffled ``n``-bit value.
+    """
+    if n < 1:
+        raise ValueError(f"shuffle width must be >= 1, got {n}")
+    mask = (1 << n) - 1
+    y &= mask
+    if n == 1:
+        # Degenerate width: H(y1) = (y1 XOR y1) = 0 would not be a
+        # bijection, so width-1 H is defined as the identity.
+        return y
+    msb = ((y >> (n - 1)) ^ y) & 1
+    return (y >> 1) | (msb << (n - 1))
+
+
+def shuffle_h_inverse(z: int, n: int) -> int:
+    """The inverse shuffle ``H^{-1}``.
+
+    Derivation: if ``z = H(y)`` then ``z_{n-1} = y_n``, ``z_{i-1} = y_i``
+    for ``i`` in ``2..n`` and ``z_n = y_n XOR y_1``, hence
+    ``y_1 = z_n XOR z_{n-1}`` and the remaining bits shift left by one.
+    """
+    if n < 1:
+        raise ValueError(f"shuffle width must be >= 1, got {n}")
+    mask = (1 << n) - 1
+    z &= mask
+    if n == 1:
+        return z
+    low = ((z >> (n - 1)) ^ (z >> (n - 2))) & 1
+    return ((z << 1) & mask) | low
+
+
+def decompose(v: int, n: int) -> Tuple[int, int, int]:
+    """Split vector ``v`` into ``(V3, V2, V1)`` with ``V1``/``V2`` n-bit."""
+    mask = (1 << n) - 1
+    v1 = v & mask
+    v2 = (v >> n) & mask
+    v3 = v >> (2 * n)
+    return v3, v2, v1
+
+
+def pack_vector(address: int, history: int, history_bits: int) -> int:
+    """Build the information vector ``V = (a_N .. a_2, h_k .. h_1)``.
+
+    The branch address is assumed byte-addressed with 4-byte instruction
+    alignment, so the two always-zero low bits are dropped before the
+    history is concatenated below the address.
+
+    Args:
+        address: byte address of the branch instruction.
+        history: global history pattern (low ``history_bits`` bits used).
+        history_bits: ``k``, the global history length (may be 0).
+    """
+    if history_bits < 0:
+        raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+    hist_mask = (1 << history_bits) - 1 if history_bits else 0
+    return ((address >> 2) << history_bits) | (history & hist_mask)
+
+
+# A skewing function maps an information vector to an n-bit bank index.
+SkewingFunction = Callable[[int], int]
+
+
+def skew_f0(v: int, n: int) -> int:
+    """``f0(V3, V2, V1) = H(V1) XOR H^{-1}(V2) XOR V2``."""
+    _, v2, v1 = decompose(v, n)
+    return shuffle_h(v1, n) ^ shuffle_h_inverse(v2, n) ^ v2
+
+
+def skew_f1(v: int, n: int) -> int:
+    """``f1(V3, V2, V1) = H(V1) XOR H^{-1}(V2) XOR V1``."""
+    _, v2, v1 = decompose(v, n)
+    return shuffle_h(v1, n) ^ shuffle_h_inverse(v2, n) ^ v1
+
+
+def skew_f2(v: int, n: int) -> int:
+    """``f2(V3, V2, V1) = H^{-1}(V1) XOR H(V2) XOR V2``."""
+    _, v2, v1 = decompose(v, n)
+    return shuffle_h_inverse(v1, n) ^ shuffle_h(v2, n) ^ v2
+
+
+def skew_function_family(n: int, banks: int = 3) -> List[SkewingFunction]:
+    """Return the paper's skewing-function family bound to width ``n``.
+
+    For 3 banks these are exactly ``f0, f1, f2`` from section 4.2.  For 5
+    banks (the configuration the paper evaluated and found marginal) the
+    family is extended with two more members built from the same ``H`` /
+    ``H^{-1}`` building blocks, keeping the pairwise-dispersion property.
+
+    Args:
+        n: bank index width in bits (bank has ``2^n`` entries).
+        banks: odd number of banks (3 or 5 supported).
+    """
+    if banks == 1:
+        mask = (1 << n) - 1
+        return [lambda v, _m=mask: v & _m]
+    if banks == 3:
+        return [
+            lambda v, _n=n: skew_f0(v, _n),
+            lambda v, _n=n: skew_f1(v, _n),
+            lambda v, _n=n: skew_f2(v, _n),
+        ]
+    if banks == 5:
+
+        def f3(v: int, _n: int = n) -> int:
+            _, v2, v1 = decompose(v, _n)
+            return shuffle_h_inverse(v1, _n) ^ shuffle_h(v2, _n) ^ v1
+
+        def f4(v: int, _n: int = n) -> int:
+            _, v2, v1 = decompose(v, _n)
+            return (
+                shuffle_h(shuffle_h(v1, _n), _n)
+                ^ shuffle_h_inverse(shuffle_h_inverse(v2, _n), _n)
+                ^ v2
+            )
+
+        return skew_function_family(n, 3) + [f3, f4]
+    raise ValueError(f"unsupported bank count {banks}; use 1, 3 or 5")
+
+
+def xor_shift_family(n: int, banks: int = 3) -> List[SkewingFunction]:
+    """A cheaper alternative family: XOR of shifted vector slices.
+
+    Bank ``i`` is indexed by ``(V >> i) XOR (V >> (n + i))`` truncated to
+    ``n`` bits.  Used by the skew-ablation experiment to quantify how much
+    of gskew's gain comes from the quality of the ``H``-based family versus
+    merely using *different* functions per bank.
+    """
+    mask = (1 << n) - 1
+
+    def make(i: int) -> SkewingFunction:
+        return lambda v: ((v >> i) ^ (v >> (n + i))) & mask
+
+    return [make(i) for i in range(banks)]
+
+
+def naive_family(n: int, banks: int = 3) -> List[SkewingFunction]:
+    """The degenerate family: every bank uses the same truncation index.
+
+    With identical index functions, skewing provides no dispersion at all:
+    the M banks behave like a single bank with replicated state.  This is
+    the ablation control.
+    """
+    mask = (1 << n) - 1
+    return [lambda v, _m=mask: v & _m for _ in range(banks)]
+
+
+def disperses(
+    family: Sequence[SkewingFunction], v: int, w: int
+) -> bool:
+    """True if vectors ``v`` and ``w`` collide in at most one bank."""
+    collisions = sum(1 for f in family if f(v) == f(w))
+    return collisions <= 1

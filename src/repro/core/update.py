@@ -1,0 +1,44 @@
+"""Update policies for multi-bank (skewed) predictors.
+
+The paper defines two policies (section 4.1):
+
+- **total** — every bank is updated on every branch, as if it were the
+  sole bank of a conventional scheme.
+- **partial** — a bank that mispredicted is left untouched when the
+  overall (majority) prediction was correct; its entry is presumed to
+  belong to a different substream.  When the overall prediction was wrong,
+  all banks are updated.
+
+A third policy, **lazy**, is provided as an ablation beyond the paper
+(suggested by its "are there policies other than partial and total?"
+future-work question): banks are only updated when the overall prediction
+was wrong.  It under-trains saturating counters and loses to partial,
+which the update-policy ablation experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["UpdatePolicy"]
+
+
+class UpdatePolicy(enum.Enum):
+    """How a skewed predictor propagates outcomes to its banks."""
+
+    TOTAL = "total"
+    PARTIAL = "partial"
+    LAZY = "lazy"
+
+    @classmethod
+    def parse(cls, value: "UpdatePolicy | str") -> "UpdatePolicy":
+        """Accept either an enum member or its string name/value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown update policy {value!r}; expected one of: {valid}"
+            ) from None

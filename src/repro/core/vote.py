@@ -1,0 +1,28 @@
+"""Majority voting over per-bank predictions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["majority", "majority3"]
+
+
+def majority(predictions: Sequence[bool]) -> bool:
+    """Majority vote over an odd number of boolean predictions.
+
+    Raises:
+        ValueError: if the number of votes is even (no tie-break exists in
+            the paper's design; the predictor always uses an odd bank
+            count).
+    """
+    count = len(predictions)
+    if count % 2 == 0:
+        raise ValueError(
+            f"majority vote requires an odd number of votes, got {count}"
+        )
+    return sum(1 for p in predictions if p) > count // 2
+
+
+def majority3(a: bool, b: bool, c: bool) -> bool:
+    """Specialised 3-way majority (the common configuration's hot path)."""
+    return (a and b) or (a and c) or (b and c)

@@ -1,0 +1,130 @@
+"""ASCII line charts for the figure experiments.
+
+The paper's evaluation is figures, not tables; this module renders the
+regenerated series as terminal line charts so the *shapes* — who wins,
+where curves cross, where they flatten — can be eyeballed the way the
+paper intends, without any plotting dependency.
+
+Charts are monospace grids: one marker character per series, a
+percent-labelled y axis, and an x axis labelled with the sweep points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["line_chart", "MARKERS"]
+
+#: Marker characters assigned to series in order.
+MARKERS = "o+x*#@%&"
+
+
+def line_chart(
+    points: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_percent: bool = True,
+) -> str:
+    """Render multi-series data as an ASCII line chart.
+
+    Args:
+        points: x-axis values (rendered as labels under the axis).
+        series: series name -> y values aligned with ``points``.
+        width: plot-area width in characters.
+        height: plot-area height in rows.
+        title: optional chart title.
+        y_percent: label the y axis as percentages.
+
+    Returns:
+        The chart as a multi-line string (title, grid, axis, legend).
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if len(series) > len(MARKERS):
+        raise ValueError(
+            f"at most {len(MARKERS)} series supported, got {len(series)}"
+        )
+    count = len(points)
+    if count < 2:
+        raise ValueError("need at least two x points to draw a line chart")
+    for name, values in series.items():
+        if len(values) != count:
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{count} points"
+            )
+
+    flat = [v for values in series.values() for v in values if v is not None]
+    if not flat:
+        raise ValueError("no data to plot")
+    y_min = min(flat)
+    y_max = max(flat)
+    if y_max == y_min:
+        y_max = y_min + (abs(y_min) or 1.0) * 0.1  # avoid a zero range
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_column(index: int) -> int:
+        return round(index * (width - 1) / (count - 1))
+
+    def to_row(value: float) -> int:
+        fraction = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(fraction * (height - 1))
+
+    for marker, (name, values) in zip(MARKERS, series.items()):
+        previous = None
+        for index, value in enumerate(values):
+            if value is None:
+                previous = None
+                continue
+            column = to_column(index)
+            row = to_row(value)
+            # Connect to the previous point with a sparse line.
+            if previous is not None:
+                prev_column, prev_row = previous
+                steps = max(abs(column - prev_column), abs(row - prev_row))
+                for step in range(1, steps):
+                    c = prev_column + round(step * (column - prev_column) / steps)
+                    r = prev_row + round(step * (row - prev_row) / steps)
+                    if grid[r][c] == " ":
+                        grid[r][c] = "."
+            grid[row][column] = marker
+            previous = (column, row)
+
+    def y_label(value: float) -> str:
+        if y_percent:
+            return f"{value * 100:6.2f}%"
+        return f"{value:7.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_label(y_max)
+        elif row_index == height - 1:
+            label = y_label(y_min)
+        elif row_index == (height - 1) // 2:
+            label = y_label((y_min + y_max) / 2)
+        else:
+            label = " " * 7
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+
+    # X-axis labels: first, middle, last.
+    first, last = str(points[0]), str(points[-1])
+    middle = str(points[count // 2])
+    axis = [" "] * width
+    axis[: len(first)] = first
+    mid_start = max(0, (width - len(middle)) // 2)
+    axis[mid_start : mid_start + len(middle)] = middle
+    axis[max(0, width - len(last)) :] = last[: width]
+    lines.append(" " * 9 + "".join(axis))
+
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

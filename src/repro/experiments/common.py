@@ -1,0 +1,44 @@
+"""Shared experiment plumbing: benchmark selection and scaled size grids.
+
+Every experiment takes:
+
+- ``scale`` — a dynamic-trace-length multiplier (1.0 = the default scale
+  described in DESIGN.md; tests use small values for speed);
+- ``benchmarks`` — which IBS clones to run (default: the paper's six).
+
+Size grids are expressed in *scaled* entries: the workload substrate is
+~1/8 of the IBS static footprint, so the default grids are the paper's
+grids divided by 8 (e.g. the paper's 64..64K-entry sweep becomes
+32..8K).  Pass explicit grids to reproduce the paper's absolute sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
+from repro.traces.trace import Trace
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_BANK_SIZES",
+    "DEFAULT_HISTORY_LENGTHS",
+    "load_benchmarks",
+]
+
+#: Total-entry grid for the size sweeps (paper: 2^6 .. 2^16, scaled /8).
+DEFAULT_SIZES: Sequence[int] = tuple(1 << n for n in range(5, 14))
+
+#: Per-bank grid for the gskew-vs-fully-associative sweep (Figure 8).
+DEFAULT_BANK_SIZES: Sequence[int] = tuple(1 << n for n in range(4, 11))
+
+#: History-length grid for Figures 7 and 12.
+DEFAULT_HISTORY_LENGTHS: Sequence[int] = tuple(range(0, 15, 2))
+
+
+def load_benchmarks(
+    benchmarks: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> List[Trace]:
+    """Materialise the requested benchmark traces (memoised upstream)."""
+    names = list(benchmarks) if benchmarks is not None else list(IBS_BENCHMARKS)
+    return [ibs_trace(name, scale) for name in names]

@@ -1,0 +1,137 @@
+"""Figure 1 — miss ratios of (address, history)-tagged tables, 4-bit history.
+
+For each table size, three instruments run over every benchmark:
+
+- a direct-mapped tagged table with the *gshare* index function,
+- a direct-mapped tagged table with the *gselect* index function,
+- a fully-associative LRU tag store of the same entry count.
+
+The FA curve is compulsory + capacity aliasing; the gap up to each
+direct-mapped curve is that scheme's conflict aliasing.  The paper's
+findings, asserted by tests:
+
+- gselect aliases more than gshare;
+- past the capacity knee the FA curve nearly vanishes while the
+  direct-mapped curves stay well above it — "leaving conflicts as the
+  overwhelming cause of aliasing".
+
+Figure 2 is the same experiment at 12 bits of history
+(:mod:`repro.experiments.figure2`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.aliasing.three_cs import AliasingBreakdown, measure_aliasing
+from repro.experiments.common import DEFAULT_SIZES, load_benchmarks
+from repro.experiments.report import format_series
+
+__all__ = ["AliasingCurves", "run", "render"]
+
+HISTORY_BITS = 4
+
+
+@dataclass(frozen=True)
+class AliasingCurves:
+    """Aliasing ratios per benchmark, per size, per instrument."""
+
+    history_bits: int
+    sizes: List[int]
+    #: benchmark -> scheme ("gshare" / "gselect" / "fa") -> ratios by size
+    curves: Dict[str, Dict[str, List[float]]]
+    #: benchmark -> size-aligned full breakdowns (gshare instrument)
+    breakdowns: Dict[str, List[AliasingBreakdown]]
+
+
+def run(
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    history_bits: int = HISTORY_BITS,
+) -> AliasingCurves:
+    """Measure the three aliasing instruments over the size grid."""
+    traces = load_benchmarks(benchmarks, scale)
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    breakdowns: Dict[str, List[AliasingBreakdown]] = {}
+    for trace in traces:
+        per_scheme: Dict[str, List[float]] = {
+            "gshare": [],
+            "gselect": [],
+            "fa": [],
+        }
+        per_size: List[AliasingBreakdown] = []
+        for entries in sizes:
+            measured = measure_aliasing(
+                trace, entries, history_bits, schemes=("gshare", "gselect")
+            )
+            gshare = measured["gshare"]
+            per_scheme["gshare"].append(gshare.total)
+            per_scheme["gselect"].append(measured["gselect"].total)
+            per_scheme["fa"].append(gshare.fully_associative)
+            per_size.append(gshare)
+        curves[trace.name] = per_scheme
+        breakdowns[trace.name] = per_size
+    return AliasingCurves(
+        history_bits=history_bits,
+        sizes=list(sizes),
+        curves=curves,
+        breakdowns=breakdowns,
+    )
+
+
+def render(result: AliasingCurves) -> str:
+    """Render the result as the paper-shaped ASCII report."""
+    blocks: List[str] = []
+    for benchmark, per_scheme in result.curves.items():
+        blocks.append(
+            format_series(
+                "entries",
+                result.sizes,
+                {
+                    "gshare DM": per_scheme["gshare"],
+                    "gselect DM": per_scheme["gselect"],
+                    "FA (comp+cap)": per_scheme["fa"],
+                },
+                title=(
+                    f"Figure {1 if result.history_bits == 4 else 2}: "
+                    f"tagged-table miss ratios, {benchmark} "
+                    f"({result.history_bits}-bit history)"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI convenience: run at default scale and print the report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+def render_plot(result: AliasingCurves) -> str:
+    """ASCII line charts of the three instruments, one per benchmark."""
+    from repro.experiments.ascii_plot import line_chart
+
+    figure = 1 if result.history_bits == 4 else 2
+    charts = []
+    for benchmark, per_scheme in result.curves.items():
+        charts.append(
+            line_chart(
+                result.sizes,
+                {
+                    "gshare DM": per_scheme["gshare"],
+                    "gselect DM": per_scheme["gselect"],
+                    "FA": per_scheme["fa"],
+                },
+                title=(
+                    f"Figure {figure}: {benchmark} aliasing vs entries "
+                    f"(h={result.history_bits})"
+                ),
+            )
+        )
+    return "\n\n".join(charts)

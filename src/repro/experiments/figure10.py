@@ -1,0 +1,28 @@
+"""Figure 10 — the magnified small-p region of the analytical curves.
+
+See :mod:`repro.experiments.figure9`; this wrapper fixes
+``magnified=True``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+
+__all__ = ["run", "render", "render_plot"]
+
+render = figure9.render
+render_plot = figure9.render_plot
+
+
+def run() -> figure9.AnalyticalCurves:
+    """Run the experiment; see the module docstring for the design."""
+    return figure9.run(magnified=True)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI convenience: run at default scale and print the report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Figures 9 and 10 — the analytical destructive-aliasing curves.
+
+Plots ``P_dm = p/2`` (1-bank) and ``P_sk = (3/4)p^2(1-p) + (1/2)p^3``
+(3-bank skewed) at the worst-case bias b = 1/2, over the per-bank
+aliasing probability p.  Figure 9 covers the full range [0, 1]; Figure
+10 magnifies the small-p region where the polynomial growth of the
+skewed predictor crushes the linear one-bank overhead.
+
+This is pure mathematics — the same formulas the extrapolation of
+Figure 11 consumes — so the "experiment" tabulates the curves and the
+tests assert their analytical properties (P_sk < P_dm for all p in
+(0, 1), quadratic leading order, the D ~ N/10 equal-storage crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.report import format_series
+from repro.model.analytical import p_dm_worst_case, p_sk_worst_case
+
+__all__ = ["AnalyticalCurves", "run", "render"]
+
+FULL_RANGE: Sequence[float] = tuple(i / 20 for i in range(21))
+MAGNIFIED_RANGE: Sequence[float] = tuple(i / 200 for i in range(21))
+
+
+@dataclass(frozen=True)
+class AnalyticalCurves:
+    probabilities: List[float]
+    direct_mapped: List[float]
+    skewed: List[float]
+    magnified: bool
+
+
+def run(magnified: bool = False) -> AnalyticalCurves:
+    """Tabulate P_dm and P_sk at b = 1/2.
+
+    ``magnified=False`` is Figure 9 (full range); ``magnified=True`` is
+    Figure 10 (p in [0, 0.1]).
+    """
+    grid = MAGNIFIED_RANGE if magnified else FULL_RANGE
+    return AnalyticalCurves(
+        probabilities=list(grid),
+        direct_mapped=[p_dm_worst_case(p) for p in grid],
+        skewed=[p_sk_worst_case(p) for p in grid],
+        magnified=magnified,
+    )
+
+
+def render(result: AnalyticalCurves) -> str:
+    """Render the result as the paper-shaped ASCII report."""
+    figure = 10 if result.magnified else 9
+    return format_series(
+        "p (per-bank aliasing)",
+        [f"{p:.3f}" for p in result.probabilities],
+        {
+            "P_dm (1 bank)": result.direct_mapped,
+            "P_sk (3-bank skewed)": result.skewed,
+        },
+        title=(
+            f"Figure {figure}: destructive-aliasing probability, b = 1/2"
+            + (" (magnified)" if result.magnified else "")
+        ),
+        digits=3,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI convenience: run at default scale and print the report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+def render_plot(result: AnalyticalCurves) -> str:
+    """ASCII line chart of the two analytical curves."""
+    from repro.experiments.ascii_plot import line_chart
+
+    figure = 10 if result.magnified else 9
+    return line_chart(
+        [f"{p:.2f}" for p in result.probabilities],
+        {
+            "P_dm": result.direct_mapped,
+            "P_sk": result.skewed,
+        },
+        title=f"Figure {figure}: destructive aliasing vs p (b=1/2)",
+    )

@@ -1,0 +1,98 @@
+"""Interference study — destructive vs constructive aliasing.
+
+Section 1 leans on Young, Gloy & Smith's observation that "constructive
+aliasing is much less likely than destructive aliasing"; it is what
+justifies treating aliasing removal as an unconditional win.  This
+experiment measures the claim directly on the clone traces: every
+aliased access of a gshare-indexed table is classified by comparing the
+shared entry's prediction against an unaliased shadow predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.aliasing.interference import (
+    InterferenceBreakdown,
+    classify_interference,
+)
+from repro.experiments.common import load_benchmarks
+from repro.experiments.report import format_table, percent
+
+__all__ = ["InterferenceStudyResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class InterferenceStudyResult:
+    entries: int
+    history_bits: int
+    scheme: str
+    results: Dict[str, InterferenceBreakdown]
+
+
+def run(
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    entries: int = 1024,
+    history_bits: int = 4,
+    scheme: str = "gshare",
+) -> InterferenceStudyResult:
+    """Run the experiment; see the module docstring for the design."""
+    traces = load_benchmarks(benchmarks, scale)
+    results = {
+        trace.name: classify_interference(
+            trace, entries, history_bits, scheme=scheme
+        )
+        for trace in traces
+    }
+    return InterferenceStudyResult(
+        entries=entries,
+        history_bits=history_bits,
+        scheme=scheme,
+        results=results,
+    )
+
+
+def render(result: InterferenceStudyResult) -> str:
+    """Render the result as the paper-shaped ASCII report."""
+    rows = []
+    for benchmark, breakdown in result.results.items():
+        rows.append(
+            [
+                benchmark,
+                breakdown.destructive,
+                breakdown.harmless,
+                breakdown.constructive,
+                percent(breakdown.destructive_ratio),
+                percent(breakdown.constructive_ratio),
+                (
+                    f"{breakdown.destructive / max(1, breakdown.constructive):.1f}x"
+                ),
+            ]
+        )
+    return format_table(
+        [
+            "benchmark",
+            "destructive",
+            "harmless",
+            "constructive",
+            "destr. ratio",
+            "constr. ratio",
+            "destr/constr",
+        ],
+        rows,
+        title=(
+            f"Interference classification ({result.scheme}, "
+            f"{result.entries} entries, {result.history_bits}-bit history)"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI convenience: run at default scale and print the report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,73 @@
+"""ASCII rendering helpers shared by all experiment modules.
+
+The paper's tables and figures are regenerated as plain-text tables: one
+row per benchmark (tables) or one row per x-axis point with one column
+per series (figures).  Values are misprediction/aliasing percentages
+rendered to two decimals, the paper's own precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "percent"]
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Render a ratio as the paper prints it: ``5.47 %``."""
+    return f"{value * 100:.{digits}f} %"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    points: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    digits: int = 2,
+) -> str:
+    """Figure-style rendering: x column plus one percentage column per
+    series."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for index, point in enumerate(points):
+        row: List[object] = [point]
+        for name in series:
+            values = series[name]
+            if index < len(values) and values[index] is not None:
+                row.append(percent(values[index], digits))
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,160 @@
+"""Command-line runner for all experiments.
+
+Usage (installed as ``repro-experiments``):
+
+    repro-experiments list
+    repro-experiments table1 table2
+    repro-experiments figure5 --scale 0.25
+    repro-experiments all
+
+Each experiment prints the paper-shaped table/series for every
+benchmark.  ``--scale`` shrinks the traces for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Tuple
+
+from repro.experiments import (
+    antialiasing_shootout,
+    banks_ablation,
+    best_history,
+    claims,
+    context_switch_ablation,
+    encoding_ablation,
+    egskew_ablation,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    interference_study,
+    opt_replacement,
+    os_pressure,
+    pas_extension,
+    robustness,
+    skew_ablation,
+    table1,
+    table2,
+    update_ablation,
+    warmup,
+    workload_class,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+# name -> (module, takes_scale)
+EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
+    "table1": (table1, True),
+    "table2": (table2, True),
+    "figure1": (figure1, True),
+    "figure2": (figure2, True),
+    "figure3": (figure3, False),
+    "figure4": (figure4, False),
+    "figure5": (figure5, True),
+    "figure6": (figure6, True),
+    "figure7": (figure7, True),
+    "figure8": (figure8, True),
+    "figure9": (figure9, False),
+    "figure10": (figure10, False),
+    "figure11": (figure11, True),
+    "figure12": (figure12, True),
+    "banks": (banks_ablation, True),
+    "update": (update_ablation, True),
+    "skew-functions": (skew_ablation, True),
+    "egskew-bank0": (egskew_ablation, True),
+    "interference": (interference_study, True),
+    "pas": (pas_extension, True),
+    "shootout": (antialiasing_shootout, True),
+    "encoding": (encoding_ablation, True),
+    "opt-vs-lru": (opt_replacement, True),
+    "os-pressure": (os_pressure, True),
+    "context-switch": (context_switch_ablation, True),
+    "robustness": (robustness, True),
+    "best-history": (best_history, True),
+    "claims": (claims, True),
+    "warmup": (warmup, True),
+    "workload-class": (workload_class, True),
+}
+
+
+def run_experiment(name: str, scale: float = 1.0, plot: bool = False) -> str:
+    """Run one experiment by name and return its rendered report.
+
+    With ``plot=True``, experiments that expose a ``render_plot`` (the
+    curve-shaped figures) return ASCII line charts instead of tables.
+    """
+    try:
+        module, takes_scale = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    result = module.run(scale=scale) if takes_scale else module.run()
+    if plot and hasattr(module, "render_plot"):
+        return module.render_plot(result)
+    return module.render(result)
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-experiments`` command-line tool."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # e.g. `repro-experiments list | head`
+        return 0
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of Michaud, Seznec & Uhlig "
+            "(ISCA 1997) on the synthetic IBS-clone workloads."
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-length multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render figures as ASCII line charts where supported",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        started = time.time()
+        print(f"=== {name} ===")
+        print(run_experiment(name, scale=args.scale, plot=args.plot))
+        print(f"--- {name} finished in {time.time() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

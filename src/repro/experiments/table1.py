@@ -1,0 +1,83 @@
+"""Table 1 — conditional branch counts of the IBS workloads.
+
+Paper reference (dynamic / static):
+
+=========  ==========  ======
+benchmark  dynamic     static
+=========  ==========  ======
+groff      11,568,181   5,634
+gs         14,288,742  10,935
+mpeg_play   8,109,029   4,752
+nroff      21,368,201   4,480
+real_gcc   13,940,672  16,716
+verilog     5,692,823   3,918
+=========  ==========  ======
+
+The clones are scaled ~1/128 dynamic and ~1/8 static; what must be
+preserved is the per-benchmark *ordering* of both columns (nroff runs
+longest, real_gcc has by far the largest static footprint, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import load_benchmarks
+from repro.experiments.report import format_table
+from repro.traces.stats import TraceCounts, trace_counts
+
+__all__ = ["Table1Result", "run", "render", "PAPER_COUNTS"]
+
+#: The paper's Table 1, for side-by-side reporting.
+PAPER_COUNTS = {
+    "groff": (11_568_181, 5_634),
+    "gs": (14_288_742, 10_935),
+    "mpeg_play": (8_109_029, 4_752),
+    "nroff": (21_368_201, 4_480),
+    "real_gcc": (13_940_672, 16_716),
+    "verilog": (5_692_823, 3_918),
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: List[TraceCounts]
+
+
+def run(
+    scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None
+) -> Table1Result:
+    """Compute Table 1 over the clone traces."""
+    traces = load_benchmarks(benchmarks, scale)
+    return Table1Result(rows=[trace_counts(trace) for trace in traces])
+
+
+def render(result: Table1Result) -> str:
+    """Render the result as the paper-shaped ASCII report."""
+    rows = []
+    for counts in result.rows:
+        paper = PAPER_COUNTS.get(counts.name)
+        rows.append(
+            [
+                counts.name,
+                counts.dynamic,
+                counts.static,
+                paper[0] if paper else "-",
+                paper[1] if paper else "-",
+            ]
+        )
+    return format_table(
+        ["benchmark", "dynamic", "static", "paper dynamic", "paper static"],
+        rows,
+        title="Table 1: conditional branch counts (clone vs paper)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI convenience: run at default scale and print the report."""
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,31 @@
+"""The paper's analytical model of destructive aliasing."""
+
+from repro.model.analytical import (
+    aliasing_probability,
+    aliasing_probability_approx,
+    crossover_distance,
+    p_dm,
+    p_dm_worst_case,
+    p_sk,
+    p_sk_multibank,
+    p_sk_worst_case,
+)
+from repro.model.extrapolation import (
+    ExtrapolationResult,
+    collect_distances,
+    extrapolate_gskew,
+)
+
+__all__ = [
+    "aliasing_probability",
+    "aliasing_probability_approx",
+    "crossover_distance",
+    "p_dm",
+    "p_dm_worst_case",
+    "p_sk",
+    "p_sk_multibank",
+    "p_sk_worst_case",
+    "ExtrapolationResult",
+    "collect_distances",
+    "extrapolate_gskew",
+]

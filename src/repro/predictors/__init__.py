@@ -1,0 +1,47 @@
+"""The predictor suite: baselines, references and extensions."""
+
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.associative import FullyAssociativePredictor
+from repro.predictors.base import BranchPredictor, GlobalHistoryPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.flush import FlushOnSwitchPredictor
+from repro.predictors.gselect import GselectPredictor, gselect_index
+from repro.predictors.gshare import GsharePredictor, gshare_index
+from repro.predictors.hybrid import HybridPredictor
+from repro.predictors.path import (
+    PathHistory,
+    PathHistoryPredictor,
+    SkewedPathPredictor,
+)
+from repro.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNPredictor,
+)
+from repro.predictors.two_level import PAsPredictor, SkewedPAsPredictor
+from repro.predictors.unaliased import UnaliasedPredictor
+
+__all__ = [
+    "AgreePredictor",
+    "FullyAssociativePredictor",
+    "BranchPredictor",
+    "GlobalHistoryPredictor",
+    "BimodalPredictor",
+    "BiModePredictor",
+    "FlushOnSwitchPredictor",
+    "GselectPredictor",
+    "gselect_index",
+    "GsharePredictor",
+    "gshare_index",
+    "HybridPredictor",
+    "PathHistory",
+    "PathHistoryPredictor",
+    "SkewedPathPredictor",
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BTFNPredictor",
+    "PAsPredictor",
+    "SkewedPAsPredictor",
+    "UnaliasedPredictor",
+]

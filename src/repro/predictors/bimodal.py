@@ -1,0 +1,54 @@
+"""The bimodal predictor (Smith): a PC-indexed table of counters.
+
+No history is consulted; the table is indexed by low-order bits of the
+word-aligned branch address.  Bimodal is both the classical baseline and
+the component the hybrid (combining) predictor pairs with gshare.
+"""
+
+from __future__ import annotations
+
+from repro.core.bank import PredictorBank
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor(BranchPredictor):
+    """``2^index_bits``-entry PC-indexed saturating-counter table."""
+
+    name = "bimodal"
+
+    def __init__(self, index_bits: int, counter_bits: int = 2):
+        self.index_bits = index_bits
+        mask = (1 << index_bits) - 1
+        self.bank = PredictorBank(
+            index_bits, lambda address: (address >> 2) & mask, counter_bits
+        )
+
+    def index(self, address: int) -> int:
+        """Table entry selected for ``address``."""
+        return self.bank.index_fn(address)
+
+    def predict(self, address: int) -> bool:
+        return self.bank.predict(address)
+
+    def train(self, address: int, taken: bool) -> None:
+        self.bank.train(address, taken)
+
+    def predict_and_update(self, address: int, taken: bool) -> bool:
+        idx = self.bank.index_fn(address)
+        counters = self.bank.counters
+        prediction = counters.prediction(idx)
+        counters.update(idx, taken)
+        return prediction
+
+    def reset(self) -> None:
+        self.bank.reset()
+
+    @property
+    def entries(self) -> int:
+        return self.bank.entries
+
+    @property
+    def storage_bits(self) -> int:
+        return self.bank.storage_bits

@@ -1,0 +1,100 @@
+"""McFarling's combining (hybrid/tournament) predictor.
+
+The hybrid family is the related work the paper positions gskew against
+(references [8, 2, 1, 4]): two component predictors — classically bimodal
+and gshare — arbitrated by a PC-indexed table of 2-bit *chooser* counters.
+The chooser counts which component has been more accurate for branches
+mapping to its entry, and the winning component supplies the prediction.
+
+Included both as a baseline for the extension experiments and so the
+library covers the complete comparison space of mid-90s table-based
+predictors.
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import CounterArray
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+
+__all__ = ["HybridPredictor"]
+
+
+class HybridPredictor(BranchPredictor):
+    """Bimodal + gshare with a PC-indexed chooser (tournament predictor).
+
+    Chooser semantics: counter high half selects gshare, low half selects
+    bimodal.  The chooser moves toward the component that was correct when
+    exactly one of the two was correct, and is untouched when they agree
+    in correctness.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        chooser_index_bits: int,
+        bimodal_index_bits: int,
+        gshare_index_bits: int,
+        history_bits: int,
+        counter_bits: int = 2,
+    ):
+        self.bimodal = BimodalPredictor(bimodal_index_bits, counter_bits)
+        self.gshare = GsharePredictor(
+            gshare_index_bits, history_bits, counter_bits
+        )
+        self.chooser_index_bits = chooser_index_bits
+        self.chooser = CounterArray(1 << chooser_index_bits, bits=2)
+        self._chooser_mask = (1 << chooser_index_bits) - 1
+
+    def _chooser_index(self, address: int) -> int:
+        return (address >> 2) & self._chooser_mask
+
+    def _selects_gshare(self, address: int) -> bool:
+        return self.chooser.prediction(self._chooser_index(address))
+
+    def predict(self, address: int) -> bool:
+        if self._selects_gshare(address):
+            return self.gshare.predict(address)
+        return self.bimodal.predict(address)
+
+    def train(self, address: int, taken: bool) -> None:
+        bimodal_correct = self.bimodal.predict(address) == taken
+        gshare_correct = self.gshare.predict(address) == taken
+        if bimodal_correct != gshare_correct:
+            self.chooser.update(self._chooser_index(address), gshare_correct)
+        self.bimodal.train(address, taken)
+        self.gshare.train(address, taken)
+
+    def notify_outcome(self, address: int, taken: bool) -> None:
+        self.gshare.notify_outcome(address, taken)
+
+    def predict_and_update(self, address: int, taken: bool) -> bool:
+        bimodal_prediction = self.bimodal.predict(address)
+        gshare_prediction = self.gshare.predict(address)
+        if self._selects_gshare(address):
+            prediction = gshare_prediction
+        else:
+            prediction = bimodal_prediction
+        bimodal_correct = bimodal_prediction == taken
+        gshare_correct = gshare_prediction == taken
+        if bimodal_correct != gshare_correct:
+            self.chooser.update(self._chooser_index(address), gshare_correct)
+        self.bimodal.train(address, taken)
+        self.gshare.train(address, taken)
+        self.gshare.notify_outcome(address, taken)
+        return prediction
+
+    def reset(self) -> None:
+        self.bimodal.reset()
+        self.gshare.reset()
+        self.chooser.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.bimodal.storage_bits
+            + self.gshare.storage_bits
+            + len(self.chooser) * self.chooser.bits
+        )

@@ -1,0 +1,86 @@
+"""Static (history-free, table-free) baseline predictors.
+
+These cost zero storage and anchor the low end of every accuracy
+comparison.  ``AlwaysTaken`` is also the fill-in policy the paper assumes
+for (address, history) pairs missing from the fully-associative reference
+predictor of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["AlwaysTakenPredictor", "AlwaysNotTakenPredictor", "BTFNPredictor"]
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts every conditional branch taken."""
+
+    name = "always-taken"
+
+    def predict(self, address: int) -> bool:
+        return True
+
+    def train(self, address: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predicts every conditional branch not taken."""
+
+    name = "always-not-taken"
+
+    def predict(self, address: int) -> bool:
+        return False
+
+    def train(self, address: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0
+
+
+class BTFNPredictor(BranchPredictor):
+    """Backward-taken / forward-not-taken static heuristic.
+
+    Requires branch *target* information, which the trace substrate
+    provides; loop back-edges (target below the branch) are predicted
+    taken.  Targets are supplied per-branch through :meth:`set_target`
+    by the simulation engine before each prediction, or default to
+    forward.
+    """
+
+    name = "btfn"
+
+    def __init__(self) -> None:
+        self._target = None
+
+    def set_target(self, target: int) -> None:
+        """Latch the target address of the branch about to be predicted."""
+        self._target = target
+
+    def predict(self, address: int) -> bool:
+        if self._target is None:
+            return False
+        return self._target <= address
+
+    def train(self, address: int, taken: bool) -> None:
+        self._target = None
+
+    def reset(self) -> None:
+        self._target = None
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

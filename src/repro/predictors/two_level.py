@@ -1,0 +1,153 @@
+"""Per-address-history (PAs) two-level predictors, plus a skewed variant.
+
+The paper's evaluation is confined to global-history schemes, but its
+conclusion explicitly proposes applying skewing to per-address schemes
+(Yeh & Patt's PAs).  This module implements both:
+
+- :class:`PAsPredictor` — the conventional scheme: a first-level table of
+  per-address history registers and a single tag-less second-level counter
+  table indexed by (low address bits, per-address history).
+- :class:`SkewedPAsPredictor` — the same first level feeding a 3-bank
+  skewed second level with majority vote and partial update, i.e. the
+  future-work design sketched in section 7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.bank import PredictorBank
+from repro.core.history import PerAddressHistory
+from repro.core.skew import pack_vector, skew_function_family
+from repro.core.update import UpdatePolicy
+from repro.core.vote import majority
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["PAsPredictor", "SkewedPAsPredictor"]
+
+
+class PAsPredictor(BranchPredictor):
+    """Two-level predictor with per-address first-level history.
+
+    Args:
+        history_table_bits: log2 of the number of first-level history
+            registers.
+        history_bits: width of each per-address history register.
+        index_bits: log2 of the second-level counter-table size.
+        counter_bits: saturating-counter width.
+    """
+
+    name = "pas"
+
+    def __init__(
+        self,
+        history_table_bits: int,
+        history_bits: int,
+        index_bits: int,
+        counter_bits: int = 2,
+    ):
+        if history_bits > index_bits:
+            raise ValueError(
+                "per-address history cannot be wider than the second-level "
+                f"index ({history_bits} > {index_bits})"
+            )
+        self.histories = PerAddressHistory(history_table_bits, history_bits)
+        self.index_bits = index_bits
+        self.history_bits = history_bits
+        mask = (1 << index_bits) - 1
+        address_bits = index_bits - history_bits
+
+        def index_fn(packed: int) -> int:
+            return packed & mask
+
+        self.bank = PredictorBank(index_bits, index_fn, counter_bits)
+        self._address_mask = (1 << address_bits) - 1 if address_bits else 0
+
+    def _index(self, address: int) -> int:
+        history = self.histories.read(address)
+        address_part = (address >> 2) & self._address_mask
+        return (address_part << self.history_bits) | history
+
+    def predict(self, address: int) -> bool:
+        return self.bank.counters.prediction(self._index(address))
+
+    def train(self, address: int, taken: bool) -> None:
+        self.bank.counters.update(self._index(address), taken)
+
+    def notify_outcome(self, address: int, taken: bool) -> None:
+        self.histories.push(address, taken)
+
+    def notify_unconditional(self, address: int, taken: bool = True) -> None:
+        # Per-address history tables track conditional branches only; an
+        # unconditional jump at some other address perturbs nothing here.
+        pass
+
+    def reset(self) -> None:
+        self.bank.reset()
+        self.histories.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        first_level = len(self.histories.table) * self.histories.bits
+        return first_level + self.bank.storage_bits
+
+
+class SkewedPAsPredictor(BranchPredictor):
+    """A 3-bank skewed second level driven by per-address histories."""
+
+    name = "skewed-pas"
+
+    def __init__(
+        self,
+        history_table_bits: int,
+        history_bits: int,
+        bank_index_bits: int,
+        counter_bits: int = 2,
+        update_policy: "UpdatePolicy | str" = UpdatePolicy.PARTIAL,
+    ):
+        self.histories = PerAddressHistory(history_table_bits, history_bits)
+        self.history_bits = history_bits
+        self.bank_index_bits = bank_index_bits
+        self.update_policy = UpdatePolicy.parse(update_policy)
+        functions = skew_function_family(bank_index_bits, 3)
+        self.banks: List[PredictorBank] = [
+            PredictorBank(bank_index_bits, fn, counter_bits)
+            for fn in functions
+        ]
+
+    def _vector(self, address: int) -> int:
+        history = self.histories.read(address)
+        return pack_vector(address, history, self.history_bits)
+
+    def predict(self, address: int) -> bool:
+        v = self._vector(address)
+        return majority([bank.predict(v) for bank in self.banks])
+
+    def train(self, address: int, taken: bool) -> None:
+        v = self._vector(address)
+        predictions = [bank.predict(v) for bank in self.banks]
+        overall = majority(predictions)
+        if self.update_policy is UpdatePolicy.TOTAL or overall != taken:
+            for bank in self.banks:
+                bank.train(v, taken)
+        elif self.update_policy is UpdatePolicy.PARTIAL:
+            for bank, prediction in zip(self.banks, predictions):
+                if prediction == taken:
+                    bank.train(v, taken)
+        # LAZY with a correct overall prediction: no update at all.
+
+    def notify_outcome(self, address: int, taken: bool) -> None:
+        self.histories.push(address, taken)
+
+    def notify_unconditional(self, address: int, taken: bool = True) -> None:
+        pass
+
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.reset()
+        self.histories.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        first_level = len(self.histories.table) * self.histories.bits
+        return first_level + sum(bank.storage_bits for bank in self.banks)

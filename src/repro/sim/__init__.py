@@ -1,0 +1,40 @@
+"""Simulation engine, sweeps and the predictor spec factory."""
+
+from repro.sim.compare import (
+    PairedOutcomes,
+    bootstrap_difference,
+    mcnemar,
+    paired_outcomes,
+)
+from repro.sim.config import format_entries, make_predictor, parse_size
+from repro.sim.cost import CostEstimate, PipelineModel, speedup
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.sim.windowed import WindowedResult, windowed_misprediction
+from repro.sim.sweep import (
+    SweepResult,
+    history_sweep,
+    size_sweep,
+    sweep_specs,
+)
+
+__all__ = [
+    "PairedOutcomes",
+    "bootstrap_difference",
+    "mcnemar",
+    "paired_outcomes",
+    "CostEstimate",
+    "PipelineModel",
+    "speedup",
+    "format_entries",
+    "make_predictor",
+    "parse_size",
+    "simulate",
+    "SimulationResult",
+    "SweepResult",
+    "history_sweep",
+    "size_sweep",
+    "sweep_specs",
+    "WindowedResult",
+    "windowed_misprediction",
+]

@@ -1,0 +1,127 @@
+"""Pipeline cost model: what a misprediction rate costs in IPC.
+
+The paper's opening motivation: "in processors that speculatively fetch
+and issue multiple instructions per cycle to deep pipelines, dozens of
+instructions might be in flight before a branch is resolved" — i.e. the
+reason fractions of a percent of misprediction matter is the resolution
+latency they multiply.
+
+This module provides the standard first-order model used to translate
+predictor accuracy into performance:
+
+    CPI = CPI_base + (branch frequency) x (misprediction ratio) x penalty
+
+and derived quantities (IPC, speedup of one predictor over another,
+the misprediction-latency product).  It is deliberately simple — a
+structural pipeline simulator is out of scope — but it is the model the
+literature of the period used to argue predictor budgets, and it turns
+the repository's misprediction tables into end-performance estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["PipelineModel", "CostEstimate", "speedup"]
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """First-order machine model.
+
+    Args:
+        base_cpi: cycles per instruction with perfect branch prediction
+            (captures width, cache behaviour, everything non-branch).
+        misprediction_penalty: pipeline-refill cycles per misprediction
+            (roughly the depth from fetch to branch resolution).
+        branch_frequency: conditional branches per instruction.
+    """
+
+    base_cpi: float = 0.5
+    misprediction_penalty: float = 12.0
+    branch_frequency: float = 0.18
+
+    def __post_init__(self):
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be > 0, got {self.base_cpi}")
+        if self.misprediction_penalty < 0:
+            raise ValueError(
+                "misprediction_penalty must be >= 0, got "
+                f"{self.misprediction_penalty}"
+            )
+        if not 0 < self.branch_frequency <= 1:
+            raise ValueError(
+                f"branch_frequency must be in (0, 1], got "
+                f"{self.branch_frequency}"
+            )
+
+    def cpi(self, misprediction_ratio: float) -> float:
+        """Cycles per instruction at the given misprediction ratio."""
+        if not 0.0 <= misprediction_ratio <= 1.0:
+            raise ValueError(
+                "misprediction_ratio must be in [0, 1], got "
+                f"{misprediction_ratio}"
+            )
+        return (
+            self.base_cpi
+            + self.branch_frequency
+            * misprediction_ratio
+            * self.misprediction_penalty
+        )
+
+    def ipc(self, misprediction_ratio: float) -> float:
+        """Instructions per cycle: the inverse of :meth:`cpi`."""
+        return 1.0 / self.cpi(misprediction_ratio)
+
+    def estimate(self, result: SimulationResult) -> "CostEstimate":
+        """Cost estimate for a simulation result under this machine."""
+        ratio = result.misprediction_ratio
+        return CostEstimate(
+            predictor=result.predictor,
+            trace=result.trace,
+            misprediction_ratio=ratio,
+            cpi=self.cpi(ratio),
+            ipc=self.ipc(ratio),
+            branch_penalty_share=(
+                (self.cpi(ratio) - self.base_cpi) / self.cpi(ratio)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Performance estimate for one predictor on one workload."""
+
+    predictor: str
+    trace: str
+    misprediction_ratio: float
+    cpi: float
+    ipc: float
+    #: fraction of all cycles spent refilling after branch mispredictions
+    branch_penalty_share: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.predictor} on {self.trace}: "
+            f"{self.misprediction_ratio:.2%} mispredict -> "
+            f"IPC {self.ipc:.3f} "
+            f"({self.branch_penalty_share:.1%} of cycles in refill)"
+        )
+
+
+def speedup(
+    better: SimulationResult,
+    baseline: SimulationResult,
+    model: PipelineModel = PipelineModel(),
+) -> float:
+    """IPC ratio of ``better`` over ``baseline`` under ``model``.
+
+    > 1 means ``better`` is faster.  Useful for statements like "gskew's
+    0.3% misprediction advantage is worth 1.5% end performance on a
+    12-cycle-penalty machine".
+    """
+    return model.ipc(better.misprediction_ratio) / model.ipc(
+        baseline.misprediction_ratio
+    )

@@ -1,0 +1,112 @@
+"""Parameter sweeps: the machinery behind every figure's x-axis.
+
+A sweep runs a family of predictor configurations over a set of traces
+and tabulates misprediction ratios.  Sweeps are expressed with spec
+templates (see :mod:`repro.sim.config`) so experiment code reads like
+the figure captions: sizes for Figures 5/6/8, history lengths for
+Figures 7/12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.sim.config import format_entries, make_predictor
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.traces.trace import Trace
+
+__all__ = ["SweepResult", "sweep_specs", "size_sweep", "history_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """A grid of simulation results: series x points x traces."""
+
+    #: x-axis values, in order (entry counts or history lengths)
+    points: List[object] = field(default_factory=list)
+    #: series name -> trace name -> list of results aligned with points
+    series: Dict[str, Dict[str, List[SimulationResult]]] = field(
+        default_factory=dict
+    )
+
+    def add(self, series_name: str, result: SimulationResult) -> None:
+        """Append a result to a series (grouped per trace)."""
+        per_trace = self.series.setdefault(series_name, {})
+        per_trace.setdefault(result.trace, []).append(result)
+
+    def ratios(self, series_name: str, trace_name: str) -> List[float]:
+        """Misprediction ratios of one curve, aligned with :attr:`points`."""
+        return [
+            result.misprediction_ratio
+            for result in self.series[series_name][trace_name]
+        ]
+
+    def trace_names(self) -> List[str]:
+        """Trace names present in the grid, in insertion order."""
+        names: List[str] = []
+        for per_trace in self.series.values():
+            for name in per_trace:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+def sweep_specs(
+    traces: Sequence[Trace],
+    series: Dict[str, Sequence[str]],
+    points: Sequence[object],
+) -> SweepResult:
+    """Run aligned spec lists over every trace.
+
+    Args:
+        traces: workloads to simulate.
+        series: mapping from series name to a list of predictor specs,
+            one per x-axis point.
+        points: x-axis values (must match each spec list's length).
+    """
+    for name, specs in series.items():
+        if len(specs) != len(points):
+            raise ValueError(
+                f"series {name!r} has {len(specs)} specs for "
+                f"{len(points)} points"
+            )
+    result = SweepResult(points=list(points))
+    for trace in traces:
+        for name, specs in series.items():
+            for spec in specs:
+                predictor = make_predictor(spec)
+                result.add(name, simulate(predictor, trace, label=spec))
+    return result
+
+
+def size_sweep(
+    traces: Sequence[Trace],
+    sizes: Sequence[int],
+    history_bits: int,
+    schemes: Dict[str, Callable[[int], str]],
+) -> SweepResult:
+    """Sweep total predictor size for several schemes (Figures 5/6/8).
+
+    ``schemes`` maps a series name to a function producing a spec from a
+    *total entry count*, e.g. ``lambda n: f"gskew:3x{format_entries(n // 3)}:h4"``.
+    """
+    series = {
+        name: [build(size) for size in sizes]
+        for name, build in schemes.items()
+    }
+    return sweep_specs(traces, series, points=list(sizes))
+
+
+def history_sweep(
+    traces: Sequence[Trace],
+    history_lengths: Iterable[int],
+    schemes: Dict[str, Callable[[int], str]],
+) -> SweepResult:
+    """Sweep history length at fixed sizes (Figures 7/12)."""
+    lengths = list(history_lengths)
+    series = {
+        name: [build(h) for h in lengths] for name, build in schemes.items()
+    }
+    return sweep_specs(traces, series, points=lengths)

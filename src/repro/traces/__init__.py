@@ -1,0 +1,30 @@
+"""Trace substrate: trace types, statistics, I/O and synthesis."""
+
+from repro.traces.io import (
+    load_trace,
+    load_trace_text,
+    save_trace,
+    save_trace_text,
+)
+from repro.traces.stats import (
+    SubstreamStats,
+    TraceCounts,
+    bias_density,
+    substream_stats,
+    trace_counts,
+)
+from repro.traces.trace import BranchRecord, Trace
+
+__all__ = [
+    "load_trace",
+    "load_trace_text",
+    "save_trace",
+    "save_trace_text",
+    "SubstreamStats",
+    "TraceCounts",
+    "bias_density",
+    "substream_stats",
+    "trace_counts",
+    "BranchRecord",
+    "Trace",
+]

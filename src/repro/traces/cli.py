@@ -1,0 +1,176 @@
+"""Command-line trace tools.
+
+Usage (installed as ``repro-trace``):
+
+    repro-trace generate groff out.npz [--scale 0.5]
+    repro-trace info out.npz
+    repro-trace convert out.npz out.txt
+    repro-trace simulate out.npz gskew:3x1k:h8:partial gshare:4k:h8
+
+``generate`` synthesises an IBS-clone trace and caches it on disk;
+``info`` prints Table-1/2-style statistics; ``convert`` transcodes
+between the binary (.npz) and text formats by extension; ``simulate``
+runs predictor specs over a cached trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.traces.io import (
+    load_trace,
+    load_trace_text,
+    save_trace,
+    save_trace_text,
+)
+from repro.traces.stats import substream_stats, trace_counts
+from repro.traces.synthetic.workloads import ibs_trace, ibs_workload
+from repro.traces.trace import Trace
+
+__all__ = ["main"]
+
+
+def _load_any(path: Path) -> Trace:
+    if path.suffix == ".txt":
+        return load_trace_text(path)
+    return load_trace(path)
+
+
+def _save_any(trace: Trace, path: Path) -> None:
+    if path.suffix == ".txt":
+        save_trace_text(trace, path)
+    else:
+        save_trace(trace, path)
+
+
+def _cmd_generate(args) -> int:
+    ibs_workload(args.benchmark)  # validate the name early
+    trace = ibs_trace(args.benchmark, scale=args.scale)
+    _save_any(trace, Path(args.output))
+    counts = trace_counts(trace)
+    print(
+        f"wrote {args.output}: {counts.dynamic} conditional branches "
+        f"({counts.static} static) from {args.benchmark} x{args.scale}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    trace = _load_any(Path(args.trace))
+    counts = trace_counts(trace)
+    print(f"trace     : {counts.name}")
+    print(f"events    : {counts.events}")
+    print(f"dynamic   : {counts.dynamic} conditional branches")
+    print(f"static    : {counts.static} branch addresses")
+    print(f"taken     : {counts.taken_ratio:.2%}")
+    for history in args.history:
+        stats = substream_stats(trace, history)
+        print(
+            f"h={history:<3d}     : {stats.substreams} substreams, "
+            f"ratio {stats.substream_ratio:.2f}, "
+            f"compulsory {stats.compulsory_ratio:.2%}"
+        )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    trace = _load_any(Path(args.source))
+    _save_any(trace, Path(args.destination))
+    print(f"converted {args.source} -> {args.destination}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = _load_any(Path(args.trace))
+    print(f"{'spec':32s} {'storage':>9s} {'misprediction':>14s}")
+    for spec in args.specs:
+        result = simulate(make_predictor(spec), trace, label=spec)
+        print(
+            f"{spec:32s} {result.storage_bits:>8d}b "
+            f"{result.misprediction_ratio:>13.2%}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.sim.profile import profile_mispredictions
+
+    trace = _load_any(Path(args.trace))
+    result = profile_mispredictions(make_predictor(args.spec), trace)
+    print(
+        f"{args.spec} on {trace.name}: "
+        f"{result.misprediction_ratio:.2%} misprediction "
+        f"({result.total_mispredictions}/{result.total_branches})"
+    )
+    print(
+        f"top {args.top} branches own "
+        f"{result.concentration(args.top):.0%} of all mispredictions:\n"
+    )
+    print(f"{'pc':>12s} {'execs':>8s} {'misses':>7s} {'rate':>7s} {'taken':>7s}")
+    for profile in result.top(args.top):
+        print(
+            f"{profile.pc:>#12x} {profile.executions:>8d} "
+            f"{profile.mispredictions:>7d} {profile.miss_rate:>6.1%} "
+            f"{profile.taken_ratio:>6.1%}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-trace`` command-line tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Branch-trace tools."
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise an IBS-clone trace to disk"
+    )
+    generate.add_argument("benchmark")
+    generate.add_argument("output")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    info = commands.add_parser("info", help="print trace statistics")
+    info.add_argument("trace")
+    info.add_argument(
+        "--history",
+        type=int,
+        nargs="*",
+        default=[4, 12],
+        help="history lengths for substream statistics",
+    )
+    info.set_defaults(handler=_cmd_info)
+
+    convert = commands.add_parser(
+        "convert", help="transcode between .npz and .txt formats"
+    )
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.set_defaults(handler=_cmd_convert)
+
+    sim = commands.add_parser(
+        "simulate", help="run predictor specs over a trace"
+    )
+    sim.add_argument("trace")
+    sim.add_argument("specs", nargs="+")
+    sim.set_defaults(handler=_cmd_simulate)
+
+    profile = commands.add_parser(
+        "profile", help="rank the branches a predictor mispredicts"
+    )
+    profile.add_argument("trace")
+    profile.add_argument("spec")
+    profile.add_argument("--top", type=int, default=10)
+    profile.set_defaults(handler=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

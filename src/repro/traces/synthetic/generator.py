@@ -1,0 +1,121 @@
+"""Top-level synthetic-trace generation.
+
+Assembles the program builder, per-process executors and the OS
+scheduler into a :class:`~repro.traces.trace.Trace`.  A
+:class:`WorkloadConfig` fully determines the trace (all randomness is
+seeded), so workloads behave like fixed benchmark inputs: the same
+config always yields byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.traces.synthetic.behavior import BehaviorMix
+from repro.traces.synthetic.cfg import (
+    ProgramConfig,
+    ProgramExecutor,
+    build_program,
+)
+from repro.traces.synthetic.kernel import SchedulerConfig, interleave
+from repro.traces.trace import Trace
+
+__all__ = ["WorkloadConfig", "generate_trace"]
+
+# Virtual address-space layout: user process text segments are spaced
+# widely apart and the kernel lives high, like a real OS memory map.
+_USER_SEGMENT_BASE = 0x0040_0000
+_USER_SEGMENT_STRIDE = 0x0100_0000
+_KERNEL_SEGMENT_BASE = 0x8000_0000
+
+
+@dataclass
+class WorkloadConfig:
+    """Everything needed to deterministically generate one trace."""
+
+    name: str = "workload"
+    seed: int = 1
+    length: int = 200_000
+    processes: int = 3
+    static_branches_per_process: int = 500
+    procedures_per_process: int = 24
+    mix: BehaviorMix = field(default_factory=BehaviorMix)
+    kernel_static_branches: int = 400
+    kernel_mix: Optional[BehaviorMix] = None
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def program_config(self, process_index: int) -> ProgramConfig:
+        """Program shape for user process ``process_index``."""
+        return ProgramConfig(
+            static_branches=self.static_branches_per_process,
+            procedures=self.procedures_per_process,
+            base_address=_USER_SEGMENT_BASE
+            + process_index * _USER_SEGMENT_STRIDE,
+            mix=self.mix,
+            name=f"{self.name}.proc{process_index}",
+        )
+
+    def kernel_config(self) -> ProgramConfig:
+        """Program shape for the kernel program."""
+        mix = self.kernel_mix if self.kernel_mix is not None else self.mix
+        return ProgramConfig(
+            static_branches=self.kernel_static_branches,
+            procedures=max(8, self.procedures_per_process),
+            base_address=_KERNEL_SEGMENT_BASE,
+            mix=mix,
+            name=f"{self.name}.kernel",
+        )
+
+    def scaled(self, factor: float) -> "WorkloadConfig":
+        """A copy with the dynamic trace length scaled by ``factor``.
+
+        Static program structure is untouched: scaling changes how long
+        the workload runs, not what it is, exactly like tracing a real
+        benchmark for fewer instructions.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        return replace(self, length=max(1, int(self.length * factor)))
+
+
+def generate_trace(config: WorkloadConfig) -> Trace:
+    """Generate the deterministic trace described by ``config``."""
+    user_executors: List[ProgramExecutor] = []
+    for index in range(config.processes):
+        program = build_program(
+            config.program_config(index), seed=config.seed * 1009 + index
+        )
+        user_executors.append(
+            ProgramExecutor(program, seed=config.seed * 9176 + index)
+        )
+
+    kernel_executor = None
+    if config.kernel_static_branches > 0 and config.scheduler.kernel_share > 0:
+        kernel_program = build_program(
+            config.kernel_config(), seed=config.seed * 5407 + 101
+        )
+        kernel_executor = ProgramExecutor(
+            kernel_program, seed=config.seed * 7919 + 103
+        )
+
+    events = interleave(
+        user_executors,
+        kernel_executor,
+        length=config.length,
+        config=config.scheduler,
+        seed=config.seed * 31 + 7,
+    )
+
+    pcs = [event[0] for event in events]
+    takens = [1 if event[1] else 0 for event in events]
+    conditionals = [1 if event[2] else 0 for event in events]
+    targets = [event[3] for event in events]
+    return Trace.from_columns(
+        pcs,
+        takens,
+        conditionals,
+        targets,
+        name=config.name,
+        seed=config.seed,
+    )

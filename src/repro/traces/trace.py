@@ -1,0 +1,180 @@
+"""The branch-trace data type.
+
+A :class:`Trace` is the unit of workload in this library: a sequence of
+control-transfer events, each with a program counter, a taken/not-taken
+outcome, a conditional/unconditional flag and (optionally) a target
+address.  Unconditional events are not predicted but shift global history,
+per the paper's methodology.
+
+Storage is numpy-backed for memory efficiency and fast disk round-trips;
+the simulation engines iterate over cached Python-int lists
+(:meth:`Trace.columns`) because per-element access to numpy arrays from
+interpreted loops is several times slower than list access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BranchRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic control-transfer event."""
+
+    pc: int
+    taken: bool
+    conditional: bool = True
+    target: int = 0
+
+
+class Trace:
+    """An immutable sequence of branch events plus workload metadata."""
+
+    def __init__(
+        self,
+        pcs: "np.ndarray",
+        takens: "np.ndarray",
+        conditionals: "np.ndarray",
+        targets: Optional["np.ndarray"] = None,
+        name: str = "anonymous",
+        seed: Optional[int] = None,
+    ):
+        length = len(pcs)
+        if len(takens) != length or len(conditionals) != length:
+            raise ValueError("trace column lengths disagree")
+        if targets is not None and len(targets) != length:
+            raise ValueError("trace column lengths disagree")
+        self.pcs = np.asarray(pcs, dtype=np.uint64)
+        self.takens = np.asarray(takens, dtype=np.uint8)
+        self.conditionals = np.asarray(conditionals, dtype=np.uint8)
+        self.targets = (
+            np.asarray(targets, dtype=np.uint64)
+            if targets is not None
+            else np.zeros(length, dtype=np.uint64)
+        )
+        self.name = name
+        self.seed = seed
+        self._columns_cache: Optional[
+            Tuple[List[int], List[int], List[int], List[int]]
+        ] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[BranchRecord],
+        name: str = "anonymous",
+        seed: Optional[int] = None,
+    ) -> "Trace":
+        pcs: List[int] = []
+        takens: List[int] = []
+        conditionals: List[int] = []
+        targets: List[int] = []
+        for record in records:
+            pcs.append(record.pc)
+            takens.append(1 if record.taken else 0)
+            conditionals.append(1 if record.conditional else 0)
+            targets.append(record.target)
+        return cls(
+            np.array(pcs, dtype=np.uint64),
+            np.array(takens, dtype=np.uint8),
+            np.array(conditionals, dtype=np.uint8),
+            np.array(targets, dtype=np.uint64),
+            name=name,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        pcs: List[int],
+        takens: List[int],
+        conditionals: List[int],
+        targets: Optional[List[int]] = None,
+        name: str = "anonymous",
+        seed: Optional[int] = None,
+    ) -> "Trace":
+        return cls(
+            np.array(pcs, dtype=np.uint64),
+            np.array(takens, dtype=np.uint8),
+            np.array(conditionals, dtype=np.uint8),
+            np.array(targets, dtype=np.uint64) if targets is not None else None,
+            name=name,
+            seed=seed,
+        )
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __getitem__(self, index: int) -> BranchRecord:
+        return BranchRecord(
+            pc=int(self.pcs[index]),
+            taken=bool(self.takens[index]),
+            conditional=bool(self.conditionals[index]),
+            target=int(self.targets[index]),
+        )
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def columns(self) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """Hot-loop view: (pcs, takens, conditionals, targets) as int lists.
+
+        Cached after the first call; callers must not mutate the lists.
+        """
+        if self._columns_cache is None:
+            self._columns_cache = (
+                self.pcs.tolist(),
+                self.takens.tolist(),
+                self.conditionals.tolist(),
+                self.targets.tolist(),
+            )
+        return self._columns_cache
+
+    def head(self, count: int) -> "Trace":
+        """A new trace consisting of the first ``count`` events."""
+        return Trace(
+            self.pcs[:count],
+            self.takens[:count],
+            self.conditionals[:count],
+            self.targets[:count],
+            name=f"{self.name}[:{count}]",
+            seed=self.seed,
+        )
+
+    # -- summary -----------------------------------------------------------
+
+    @property
+    def conditional_count(self) -> int:
+        """Dynamic conditional-branch count (the Table 1 'dynamic' column)."""
+        return int(self.conditionals.sum())
+
+    @property
+    def static_conditional_count(self) -> int:
+        """Distinct conditional-branch PCs (the Table 1 'static' column)."""
+        mask = self.conditionals.astype(bool)
+        return len(np.unique(self.pcs[mask]))
+
+    @property
+    def taken_ratio(self) -> float:
+        """Fraction of conditional branches that were taken."""
+        mask = self.conditionals.astype(bool)
+        total = int(mask.sum())
+        if total == 0:
+            return 0.0
+        return float(self.takens[mask].sum()) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name!r}, events={len(self)}, "
+            f"conditional={self.conditional_count})"
+        )

@@ -1,0 +1,85 @@
+"""Tests for destructive/harmless/constructive classification."""
+
+import pytest
+
+from repro.aliasing.interference import classify_interference
+from repro.traces.trace import BranchRecord, Trace
+
+
+def _interleaved(pc_a, pc_b, outcomes_a, outcomes_b):
+    records = []
+    for a, b in zip(outcomes_a, outcomes_b):
+        records.append(BranchRecord(pc=pc_a, taken=a, conditional=True))
+        records.append(BranchRecord(pc=pc_b, taken=b, conditional=True))
+    return Trace.from_records(records, name="interleaved")
+
+
+class TestClassification:
+    def test_counts_partition_conditionals(self, small_trace):
+        breakdown = classify_interference(
+            small_trace, entries=128, history_bits=2
+        )
+        total = (
+            breakdown.unaliased_accesses
+            + breakdown.destructive
+            + breakdown.harmless
+            + breakdown.constructive
+            + breakdown.first_encounters
+        )
+        assert total == breakdown.conditional_branches
+        assert breakdown.conditional_branches == small_trace.conditional_count
+
+    def test_destructive_dominates_constructive(self, small_trace):
+        """Young et al.'s observation, which the paper leans on."""
+        breakdown = classify_interference(
+            small_trace, entries=128, history_bits=4
+        )
+        assert breakdown.destructive > breakdown.constructive
+
+    def test_crafted_destructive_case(self):
+        """Two opposite-biased branches sharing one entry destroy each
+        other's predictions."""
+        # bimodal scheme, 1 entry: everything shares entry 0.
+        trace = _interleaved(
+            0x100, 0x104, [True] * 40, [False] * 40
+        )
+        breakdown = classify_interference(
+            trace, entries=1, history_bits=0, scheme="bimodal"
+        )
+        assert breakdown.destructive > 20
+        assert breakdown.constructive == 0
+
+    def test_harmless_case(self):
+        """Two same-direction branches sharing an entry do no damage."""
+        trace = _interleaved(0x100, 0x104, [True] * 40, [True] * 40)
+        breakdown = classify_interference(
+            trace, entries=1, history_bits=0, scheme="bimodal"
+        )
+        assert breakdown.destructive <= 1  # warm-up effects at most
+        assert breakdown.harmless > 50
+
+    def test_no_aliasing_in_huge_table(self, tiny_trace):
+        breakdown = classify_interference(
+            tiny_trace, entries=1 << 16, history_bits=0, scheme="bimodal"
+        )
+        assert breakdown.destructive == 0
+        assert breakdown.harmless == 0
+        assert breakdown.constructive == 0
+
+    def test_ratios(self):
+        trace = _interleaved(0x100, 0x104, [True] * 10, [False] * 10)
+        breakdown = classify_interference(
+            trace, entries=1, history_bits=0, scheme="bimodal"
+        )
+        assert breakdown.destructive_ratio == pytest.approx(
+            breakdown.destructive / 20
+        )
+        assert breakdown.aliased_accesses == (
+            breakdown.destructive
+            + breakdown.harmless
+            + breakdown.constructive
+        )
+
+    def test_rejects_non_power_of_two(self, tiny_trace):
+        with pytest.raises(ValueError):
+            classify_interference(tiny_trace, entries=3, history_bits=0)

@@ -1,0 +1,66 @@
+"""Tests for the fully-associative LRU tag store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aliasing.distance import LastUseDistanceTracker
+from repro.aliasing.lru_table import FullyAssociativeLRUTable
+
+
+class TestLRUTable:
+    def test_compulsory_vs_capacity_split(self):
+        table = FullyAssociativeLRUTable(2)
+        table.access("a")  # compulsory
+        table.access("b")  # compulsory
+        table.access("c")  # compulsory, evicts a
+        table.access("a")  # capacity (seen before, distance 2)
+        assert table.misses == 4
+        assert table.compulsory_misses == 3
+        assert table.capacity_misses == 1
+
+    def test_lru_order_updates_on_hit(self):
+        table = FullyAssociativeLRUTable(2)
+        table.access("a")
+        table.access("b")
+        table.access("a")  # refresh a; b is now LRU
+        table.access("c")  # evicts b
+        assert table.access("a") is False
+        assert table.access("b") is True
+
+    def test_miss_ratio(self):
+        table = FullyAssociativeLRUTable(4)
+        for key in ("a", "b", "a", "b"):
+            table.access(key)
+        assert table.miss_ratio == pytest.approx(0.5)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeLRUTable(0)
+
+    def test_reset(self):
+        table = FullyAssociativeLRUTable(2)
+        table.access("a")
+        table.reset()
+        assert table.accesses == 0
+        assert table.access("a") is True
+        assert table.compulsory_misses == 1
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=12), max_size=100),
+    )
+    @settings(max_examples=60)
+    def test_hit_iff_distance_below_capacity(self, entries, keys):
+        """The defining property linking LRU tables to stack distances:
+        an access hits an N-entry LRU table iff its last-use distance is
+        strictly below N."""
+        table = FullyAssociativeLRUTable(entries)
+        tracker = LastUseDistanceTracker(capacity=max(1, len(keys)))
+        for key in keys:
+            distance = tracker.reference(key)
+            miss = table.access(key)
+            if distance is None:
+                assert miss
+            else:
+                assert miss == (distance >= entries)

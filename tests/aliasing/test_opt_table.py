@@ -1,0 +1,89 @@
+"""Tests for Belady-OPT fully-associative simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aliasing.lru_table import FullyAssociativeLRUTable
+from repro.aliasing.opt_table import simulate_opt
+
+
+def lru_misses(keys, entries):
+    table = FullyAssociativeLRUTable(entries)
+    for key in keys:
+        table.access(key)
+    return table.misses
+
+
+class TestBasics:
+    def test_empty_stream(self):
+        result = simulate_opt([], 4)
+        assert result.misses == 0
+        assert result.miss_ratio == 0.0
+
+    def test_all_compulsory_when_capacity_sufficient(self):
+        keys = ["a", "b", "c", "a", "b", "c"]
+        result = simulate_opt(keys, 3)
+        assert result.misses == 3
+        assert result.compulsory_misses == 3
+        assert result.capacity_misses == 0
+
+    def test_textbook_belady_case(self):
+        """The classic sequence where OPT beats LRU."""
+        keys = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        opt = simulate_opt(keys, 3).misses
+        lru = lru_misses(keys, 3)
+        assert opt == 7  # known OPT value for this sequence
+        assert lru == 10  # known LRU value
+
+    def test_capacity_one(self):
+        keys = ["a", "b", "a"]
+        result = simulate_opt(keys, 1)
+        assert result.misses == 3
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            simulate_opt(["a"], 0)
+
+
+class TestOptimality:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=80),
+    )
+    @settings(max_examples=80)
+    def test_never_worse_than_lru(self, entries, keys):
+        assert simulate_opt(keys, entries).misses <= lru_misses(keys, entries)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_compulsory_misses_are_distinct_keys(self, entries, keys):
+        result = simulate_opt(keys, entries)
+        assert result.compulsory_misses == len(set(keys))
+        assert result.misses >= result.compulsory_misses
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=60))
+    def test_huge_capacity_only_compulsory(self, keys):
+        result = simulate_opt(keys, 1000)
+        assert result.misses == len(set(keys))
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(11)
+        keys = [rng.randrange(30) for __ in range(500)]
+        misses = [simulate_opt(keys, n).misses for n in (2, 4, 8, 16, 32)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_random_streams_vs_lru(self):
+        rng = random.Random(13)
+        for __ in range(5):
+            keys = [rng.randrange(20) for __ in range(300)]
+            for entries in (3, 7, 12):
+                assert (
+                    simulate_opt(keys, entries).misses
+                    <= lru_misses(keys, entries)
+                )

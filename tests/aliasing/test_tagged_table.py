@@ -1,0 +1,58 @@
+"""Tests for the direct-mapped tagged aliasing instrument."""
+
+import pytest
+
+from repro.aliasing.tagged_table import TaggedDirectMappedTable
+
+
+class TestTaggedTable:
+    def test_first_touch_is_cold_miss(self):
+        table = TaggedDirectMappedTable(4, lambda key: key % 4)
+        assert table.access(0) is True
+        assert table.cold_misses == 1
+        assert table.misses == 1
+
+    def test_repeat_hit(self):
+        table = TaggedDirectMappedTable(4, lambda key: key % 4)
+        table.access(1)
+        assert table.access(1) is False
+        assert table.misses == 1
+
+    def test_conflict_detected(self):
+        table = TaggedDirectMappedTable(4, lambda key: key % 4)
+        table.access(1)
+        assert table.access(5) is True  # same entry, different tag
+        assert table.access(1) is True  # 1 was displaced
+        assert table.cold_misses == 1  # only the very first touch
+
+    def test_miss_ratio(self):
+        table = TaggedDirectMappedTable(2, lambda key: key % 2)
+        for key in (0, 2, 0, 2):  # ping-pong on entry 0
+            table.access(key)
+        table.access(1)
+        table.access(1)
+        assert table.miss_ratio == pytest.approx(5 / 6)
+
+    def test_peek(self):
+        table = TaggedDirectMappedTable(4, lambda key: key % 4)
+        table.access(6)
+        assert table.peek(2) == 6
+
+    def test_reset(self):
+        table = TaggedDirectMappedTable(4, lambda key: key % 4)
+        table.access(1)
+        table.reset()
+        assert table.accesses == 0
+        assert table.misses == 0
+        assert table.peek(1) is None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TaggedDirectMappedTable(0, lambda key: 0)
+
+    def test_tuple_keys(self):
+        """(address, history) pairs are the intended key type."""
+        table = TaggedDirectMappedTable(8, lambda key: key[0] % 8)
+        assert table.access((3, 0b01)) is True
+        assert table.access((3, 0b01)) is False
+        assert table.access((3, 0b10)) is True  # same entry, new history

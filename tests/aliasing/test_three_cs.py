@@ -1,0 +1,105 @@
+"""Tests for the 3Cs aliasing decomposition."""
+
+import pytest
+
+from repro.aliasing.three_cs import (
+    measure_aliasing,
+    pair_index_fn,
+    pair_stream,
+)
+from repro.traces.trace import BranchRecord, Trace
+
+
+def _trace(records):
+    return Trace.from_records(records, name="crafted")
+
+
+class TestPairStream:
+    def test_history_includes_unconditional(self):
+        trace = _trace(
+            [
+                BranchRecord(pc=0x100, taken=True, conditional=True),
+                BranchRecord(pc=0x104, taken=True, conditional=False),
+                BranchRecord(pc=0x108, taken=False, conditional=True),
+            ]
+        )
+        pairs = list(pair_stream(trace, history_bits=4))
+        # Second conditional sees history (T, T) from branch 1 + jump.
+        assert pairs == [(0x100 >> 2, 0b0), (0x108 >> 2, 0b11)]
+
+    def test_unconditional_not_emitted(self):
+        trace = _trace(
+            [BranchRecord(pc=0x100, taken=True, conditional=False)] * 5
+        )
+        assert list(pair_stream(trace, 4)) == []
+
+    def test_zero_history(self):
+        trace = _trace(
+            [BranchRecord(pc=0x100, taken=True, conditional=True)] * 2
+        )
+        assert list(pair_stream(trace, 0)) == [(0x40, 0), (0x40, 0)]
+
+
+class TestPairIndexFn:
+    def test_schemes_dispatch(self):
+        for scheme in ("gshare", "gselect", "bimodal"):
+            fn = pair_index_fn(scheme, 6, 4)
+            assert 0 <= fn((0x123, 0b1010)) < 64
+
+    def test_bimodal_ignores_history(self):
+        fn = pair_index_fn("bimodal", 6, 4)
+        assert fn((0x123, 0)) == fn((0x123, 0b1111))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            pair_index_fn("ghistory", 6, 4)
+
+
+class TestMeasureAliasing:
+    def test_decomposition_identities(self, small_trace):
+        breakdowns = measure_aliasing(
+            small_trace, entries=256, history_bits=4
+        )
+        for breakdown in breakdowns.values():
+            assert 0.0 <= breakdown.compulsory <= 1.0
+            assert 0.0 <= breakdown.capacity <= 1.0
+            assert breakdown.conflict >= 0.0
+            assert breakdown.fully_associative == pytest.approx(
+                breakdown.compulsory + breakdown.capacity
+            )
+            # total ~ compulsory + capacity + conflict by construction
+            assert breakdown.total <= 1.0
+            assert breakdown.accesses == small_trace.conditional_count
+
+    def test_capacity_shrinks_with_size(self, small_trace):
+        small = measure_aliasing(small_trace, 64, 4)["gshare"]
+        large = measure_aliasing(small_trace, 2048, 4)["gshare"]
+        assert large.capacity <= small.capacity
+        # Compulsory is size-independent.
+        assert large.compulsory == pytest.approx(small.compulsory)
+
+    def test_conflict_dominates_at_large_sizes(self, small_trace):
+        """The paper's Figure 1 punchline: once the table holds the
+        working set, what remains is mostly conflict."""
+        breakdown = measure_aliasing(small_trace, 4096, 4)["gshare"]
+        if breakdown.total > 0.005:
+            assert breakdown.conflict > breakdown.capacity
+
+    def test_gselect_worse_than_gshare(self, small_trace):
+        """The paper: gselect has a higher aliasing ratio than gshare."""
+        breakdowns = measure_aliasing(small_trace, 256, 8)
+        assert (
+            breakdowns["gselect"].total >= breakdowns["gshare"].total * 0.9
+        )
+
+    def test_rejects_non_power_of_two(self, tiny_trace):
+        with pytest.raises(ValueError):
+            measure_aliasing(tiny_trace, 100, 4)
+        with pytest.raises(ValueError):
+            measure_aliasing(tiny_trace, 0, 4)
+
+    def test_single_scheme_selection(self, tiny_trace):
+        breakdowns = measure_aliasing(
+            tiny_trace, 64, 4, schemes=("bimodal",)
+        )
+        assert set(breakdowns) == {"bimodal"}

@@ -1,0 +1,48 @@
+"""Shared fixtures: small deterministic traces for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.synthetic.behavior import BehaviorMix
+from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
+from repro.traces.synthetic.kernel import SchedulerConfig
+from repro.traces.trace import Trace
+
+#: Scale used by experiment tests; keeps full-suite runtime manageable.
+TEST_SCALE = 0.18
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """A ~25k-event multi-process trace with OS interleaving."""
+    config = WorkloadConfig(
+        name="test-small",
+        seed=42,
+        length=25_000,
+        processes=2,
+        static_branches_per_process=150,
+        procedures_per_process=14,
+        mix=BehaviorMix(),
+        kernel_static_branches=150,
+        scheduler=SchedulerConfig(
+            mean_quantum=800, kernel_share=0.15, mean_kernel_burst=100
+        ),
+    )
+    return generate_trace(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A ~4k-event single-process trace (no kernel) for cheap tests."""
+    config = WorkloadConfig(
+        name="test-tiny",
+        seed=7,
+        length=4_000,
+        processes=1,
+        static_branches_per_process=80,
+        procedures_per_process=8,
+        kernel_static_branches=0,
+        scheduler=SchedulerConfig(kernel_share=0.0),
+    )
+    return generate_trace(config)

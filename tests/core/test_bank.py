@@ -1,0 +1,47 @@
+"""Tests for the tag-less predictor bank."""
+
+import pytest
+
+from repro.core.bank import PredictorBank
+
+
+class TestPredictorBank:
+    def test_index_fn_drives_entry_selection(self):
+        bank = PredictorBank(3, lambda v: v & 0b111, counter_bits=2)
+        bank.train(0b101, True)
+        bank.train(0b101, True)
+        assert bank.predict(0b101) is True
+        # A different vector mapping to the same entry shares the counter
+        # (tag-less by design): this IS aliasing.
+        assert bank.predict(0b1101 & 0b111 | 0b1000) is bank.predict(0b101)
+
+    def test_training_moves_prediction(self):
+        bank = PredictorBank(2, lambda v: v & 0b11)
+        assert bank.predict(0) is True  # weakly-taken reset state
+        bank.train(0, False)
+        bank.train(0, False)
+        assert bank.predict(0) is False
+
+    def test_entries_and_storage(self):
+        bank = PredictorBank(10, lambda v: v & 1023, counter_bits=2)
+        assert bank.entries == 1024
+        assert bank.storage_bits == 2048
+        assert PredictorBank(10, lambda v: 0, counter_bits=1).storage_bits == 1024
+
+    def test_reset(self):
+        bank = PredictorBank(2, lambda v: v & 0b11)
+        bank.train(1, False)
+        bank.train(1, False)
+        bank.reset()
+        assert bank.predict(1) is True
+
+    def test_zero_index_bits_single_entry(self):
+        bank = PredictorBank(0, lambda v: 0)
+        assert bank.entries == 1
+        bank.train(123, False)
+        bank.train(456, False)
+        assert bank.predict(789) is False
+
+    def test_rejects_negative_index_bits(self):
+        with pytest.raises(ValueError):
+            PredictorBank(-1, lambda v: 0)

@@ -1,0 +1,194 @@
+"""Tests for the skewed branch predictor (gskew)."""
+
+import random
+
+import pytest
+
+from repro.core.gskew import SkewedPredictor
+from repro.core.update import UpdatePolicy
+from repro.sim.engine import simulate
+
+
+def _make(banks=3, policy="partial", bank_bits=4, history=4, counter_bits=2):
+    return SkewedPredictor(
+        bank_index_bits=bank_bits,
+        history_bits=history,
+        banks=banks,
+        counter_bits=counter_bits,
+        update_policy=policy,
+    )
+
+
+class TestConstruction:
+    def test_rejects_even_banks(self):
+        with pytest.raises(ValueError):
+            _make(banks=2)
+
+    def test_rejects_wrong_function_count(self):
+        with pytest.raises(ValueError):
+            SkewedPredictor(4, 4, banks=3, functions=[lambda v: 0])
+
+    def test_storage_accounting(self):
+        predictor = _make(bank_bits=10)
+        assert predictor.total_entries == 3 * 1024
+        assert predictor.storage_bits == 3 * 1024 * 2
+
+    def test_policy_parsing(self):
+        assert _make(policy="total").update_policy is UpdatePolicy.TOTAL
+        assert (
+            _make(policy=UpdatePolicy.LAZY).update_policy is UpdatePolicy.LAZY
+        )
+
+
+class TestPrediction:
+    def test_prediction_is_majority_of_banks(self):
+        predictor = _make()
+        address = 0x400100
+        v = predictor.vector(address)
+        # Force bank counters to 2 strong states and one opposite.
+        predictor.banks[0].counters.values[predictor.banks[0].index_fn(v)] = 3
+        predictor.banks[1].counters.values[predictor.banks[1].index_fn(v)] = 3
+        predictor.banks[2].counters.values[predictor.banks[2].index_fn(v)] = 0
+        assert predictor.predict(address) is True
+        assert predictor.bank_predictions(address) == [True, True, False]
+
+    def test_learns_deterministic_branch(self):
+        predictor = _make()
+        for __ in range(8):
+            predictor.predict_and_update(0x400100, False)
+        assert predictor.predict(0x400100) is False
+
+    def test_predict_is_pure(self):
+        predictor = _make()
+        before = [list(bank.counters.values) for bank in predictor.banks]
+        predictor.predict(0x400840)
+        after = [list(bank.counters.values) for bank in predictor.banks]
+        assert before == after
+
+    def test_history_shifts_on_update_and_unconditional(self):
+        predictor = _make(history=4)
+        predictor.predict_and_update(0x400100, True)
+        assert predictor.history.value == 0b1
+        predictor.notify_unconditional(0x400200)
+        assert predictor.history.value == 0b11
+
+
+class TestUpdatePolicies:
+    def _force_bank_states(self, predictor, address, states):
+        v = predictor.vector(address)
+        for bank, state in zip(predictor.banks, states):
+            bank.counters.values[bank.index_fn(v)] = state
+        return v
+
+    def test_total_updates_all_banks(self):
+        predictor = _make(policy="total")
+        address = 0x400100
+        v = self._force_bank_states(predictor, address, [3, 3, 0])
+        predictor.train(address, True)
+        values = [
+            bank.counters.values[bank.index_fn(v)] for bank in predictor.banks
+        ]
+        assert values == [3, 3, 1]  # the wrong bank was trained too
+
+    def test_partial_spares_wrong_bank_on_correct_overall(self):
+        predictor = _make(policy="partial")
+        address = 0x400100
+        v = self._force_bank_states(predictor, address, [3, 3, 0])
+        predictor.train(address, True)  # overall True == outcome
+        values = [
+            bank.counters.values[bank.index_fn(v)] for bank in predictor.banks
+        ]
+        # Banks 0/1 stay saturated, bank 2 untouched (serving another
+        # substream, per section 4.1).
+        assert values == [3, 3, 0]
+
+    def test_partial_updates_all_banks_on_overall_misprediction(self):
+        predictor = _make(policy="partial")
+        address = 0x400100
+        v = self._force_bank_states(predictor, address, [0, 0, 3])
+        predictor.train(address, True)  # overall False != outcome True
+        values = [
+            bank.counters.values[bank.index_fn(v)] for bank in predictor.banks
+        ]
+        assert values == [1, 1, 3]
+
+    def test_lazy_never_updates_on_correct_overall(self):
+        predictor = _make(policy="lazy")
+        address = 0x400100
+        v = self._force_bank_states(predictor, address, [3, 3, 0])
+        predictor.train(address, True)
+        values = [
+            bank.counters.values[bank.index_fn(v)] for bank in predictor.banks
+        ]
+        assert values == [3, 3, 0]
+
+    def test_lazy_updates_on_misprediction(self):
+        predictor = _make(policy="lazy")
+        address = 0x400100
+        v = self._force_bank_states(predictor, address, [0, 0, 0])
+        predictor.train(address, True)
+        values = [
+            bank.counters.values[bank.index_fn(v)] for bank in predictor.banks
+        ]
+        assert values == [1, 1, 1]
+
+
+class TestFusedPath:
+    def test_predict_and_update_matches_train_plus_predict(self):
+        """The fused fast path must be behaviourally identical to the
+        generic predict/train/notify sequence."""
+        rng = random.Random(11)
+        fused = _make(policy="partial")
+        generic = _make(policy="partial")
+        for __ in range(500):
+            address = 0x400000 + rng.randrange(256) * 4
+            taken = rng.random() < 0.7
+            expected = generic.predict(address)
+            generic.train(address, taken)
+            generic.notify_outcome(address, taken)
+            got = fused.predict_and_update(address, taken)
+            assert got == expected
+        for bank_f, bank_g in zip(fused.banks, generic.banks):
+            assert bank_f.counters.values == bank_g.counters.values
+        assert fused.history.value == generic.history.value
+
+    @pytest.mark.parametrize("policy", ["total", "partial", "lazy"])
+    def test_fused_path_all_policies(self, policy):
+        rng = random.Random(13)
+        fused = _make(policy=policy)
+        generic = _make(policy=policy)
+        for __ in range(300):
+            address = 0x400000 + rng.randrange(64) * 4
+            taken = rng.random() < 0.5
+            expected = generic.predict(address)
+            generic.train(address, taken)
+            generic.notify_outcome(address, taken)
+            assert fused.predict_and_update(address, taken) == expected
+
+
+class TestReset:
+    def test_reset_restores_power_on_state(self):
+        predictor = _make()
+        for __ in range(20):
+            predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.history.value == 0
+        assert predictor.predict(0x400100) is True  # weakly-taken reset
+
+
+class TestAliasingResilience:
+    def test_outvotes_single_bank_alias(self, small_trace):
+        """gskew with partial update beats a 1-bank table of equal total
+        size on a real aliasing-heavy trace (the paper's core claim)."""
+        gskew = SkewedPredictor(
+            bank_index_bits=7, history_bits=4, update_policy="partial"
+        )  # 3x128 = 384 entries
+        single = SkewedPredictor(
+            bank_index_bits=9, history_bits=4, banks=1
+        )  # 512 entries > 384
+        gskew_result = simulate(gskew, small_trace)
+        single_result = simulate(single, small_trace)
+        assert (
+            gskew_result.misprediction_ratio
+            < single_result.misprediction_ratio * 1.05
+        )

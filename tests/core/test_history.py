@@ -1,0 +1,94 @@
+"""Tests for global and per-address history registers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.history import GlobalHistory, PerAddressHistory
+
+
+class TestGlobalHistory:
+    def test_push_shifts_lsb_first(self):
+        h = GlobalHistory(4)
+        for taken in (True, False, True, True):
+            h.push(taken)
+        assert h.value == 0b1011
+
+    def test_wraps_at_width(self):
+        h = GlobalHistory(2)
+        for taken in (True, True, False, True):
+            h.push(taken)
+        assert h.value == 0b01
+
+    def test_zero_width_is_inert(self):
+        h = GlobalHistory(0)
+        h.push(True)
+        assert h.value == 0
+        assert int(h) == 0
+
+    def test_reset(self):
+        h = GlobalHistory(4)
+        h.push(True)
+        h.reset()
+        assert h.value == 0
+        h.reset(0b1111)
+        assert h.value == 0b1111
+
+    def test_initial_value_masked(self):
+        assert GlobalHistory(2, value=0b111).value == 0b11
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(-1)
+
+    @given(st.integers(min_value=1, max_value=16), st.lists(st.booleans()))
+    def test_value_always_masked(self, bits, outcomes):
+        h = GlobalHistory(bits)
+        for taken in outcomes:
+            h.push(taken)
+        assert 0 <= h.value < (1 << bits)
+
+    @given(st.lists(st.booleans(), min_size=5, max_size=20))
+    def test_value_encodes_last_k_outcomes(self, outcomes):
+        k = 5
+        h = GlobalHistory(k)
+        for taken in outcomes:
+            h.push(taken)
+        expected = 0
+        for taken in outcomes[-k:]:
+            expected = ((expected << 1) | taken) & ((1 << k) - 1)
+        assert h.value == expected
+
+
+class TestPerAddressHistory:
+    def test_separate_registers_per_address(self):
+        table = PerAddressHistory(index_bits=4, bits=3)
+        table.push(0x100, True)
+        table.push(0x104, False)
+        assert table.read(0x100) == 0b1
+        assert table.read(0x104) == 0b0
+        table.push(0x100, True)
+        assert table.read(0x100) == 0b11
+
+    def test_aliased_addresses_share_register(self):
+        table = PerAddressHistory(index_bits=2, bits=4)
+        # Addresses 16 words apart alias in a 4-entry table.
+        table.push(0x0, True)
+        assert table.read(0x0 + (4 << 2)) == 1
+
+    def test_zero_bits_is_inert(self):
+        table = PerAddressHistory(index_bits=2, bits=0)
+        table.push(0, True)
+        assert table.read(0) == 0
+
+    def test_reset(self):
+        table = PerAddressHistory(index_bits=2, bits=4)
+        table.push(0, True)
+        table.reset()
+        assert table.read(0) == 0
+
+    def test_rejects_negative_widths(self):
+        with pytest.raises(ValueError):
+            PerAddressHistory(-1, 2)
+        with pytest.raises(ValueError):
+            PerAddressHistory(2, -1)

@@ -1,0 +1,111 @@
+"""Tests for the shared-hysteresis (distributed-encoding) skewed predictor."""
+
+import random
+
+import pytest
+
+from repro.core.gskew import SkewedPredictor
+from repro.core.shared_hysteresis import SharedHysteresisSkewedPredictor
+from repro.sim.engine import simulate
+
+
+def _make(bank_bits=6, history=4, sharing=1, policy="partial"):
+    return SharedHysteresisSkewedPredictor(
+        bank_bits, history, sharing=sharing, update_policy=policy
+    )
+
+
+class TestSplitCounter:
+    def test_step_matches_two_bit_counter(self):
+        """(direction, hysteresis) must walk the 2-bit counter lattice."""
+        from repro.core.counters import SaturatingCounter
+
+        rng = random.Random(3)
+        d, h = 1, 0  # value 2 = weakly taken
+        counter = SaturatingCounter(bits=2, value=2)
+        for __ in range(200):
+            taken = rng.random() < 0.5
+            d, h = SharedHysteresisSkewedPredictor._step(d, h, taken)
+            counter.update(taken)
+            assert 2 * d + h == counter.value
+
+
+class TestStorage:
+    def test_two_way_sharing(self):
+        predictor = _make(bank_bits=10, sharing=1)
+        assert predictor.storage_bits == 3 * (1024 + 512)
+
+    def test_four_way_sharing(self):
+        predictor = _make(bank_bits=10, sharing=2)
+        assert predictor.storage_bits == 3 * (1024 + 256)
+
+    def test_private_hysteresis_equals_two_bit_cost(self):
+        predictor = _make(bank_bits=10, sharing=0)
+        reference = SkewedPredictor(10, 4, counter_bits=2)
+        assert predictor.storage_bits == reference.storage_bits
+
+    def test_rejects_bad_sharing(self):
+        with pytest.raises(ValueError):
+            _make(bank_bits=4, sharing=5)
+        with pytest.raises(ValueError):
+            _make(sharing=-1)
+
+
+class TestEquivalence:
+    def test_private_hysteresis_matches_plain_gskew(self):
+        """With sharing=0 the split encoding IS a 2-bit counter, so the
+        predictor must behave identically to the standard gskew."""
+        rng = random.Random(7)
+        split = _make(bank_bits=6, history=4, sharing=0)
+        plain = SkewedPredictor(6, 4, counter_bits=2, update_policy="partial")
+        for __ in range(800):
+            address = 0x400000 + rng.randrange(128) * 4
+            taken = rng.random() < 0.7
+            assert split.predict_and_update(
+                address, taken
+            ) == plain.predict_and_update(address, taken)
+
+    def test_fused_path_matches_generic(self):
+        rng = random.Random(9)
+        fused = _make()
+        generic = _make()
+        for __ in range(400):
+            address = 0x400000 + rng.randrange(64) * 4
+            taken = rng.random() < 0.6
+            expected = generic.predict(address)
+            generic.train(address, taken)
+            generic.notify_outcome(address, taken)
+            assert fused.predict_and_update(address, taken) == expected
+        assert fused.directions == generic.directions
+        assert fused.hysteresis == generic.hysteresis
+
+
+class TestBehaviour:
+    def test_learns_biased_branch(self):
+        predictor = _make()
+        for __ in range(8):
+            predictor.predict_and_update(0x400100, False)
+        assert predictor.predict(0x400100) is False
+
+    def test_sharing_costs_little_accuracy(self, small_trace):
+        shared = simulate(_make(bank_bits=8, sharing=1), small_trace)
+        plain = simulate(
+            SkewedPredictor(8, 4, update_policy="partial"), small_trace
+        )
+        assert shared.storage_bits < plain.storage_bits
+        assert (
+            shared.misprediction_ratio <= plain.misprediction_ratio * 1.20
+        )
+
+    def test_policies(self, tiny_trace):
+        for policy in ("total", "partial", "lazy"):
+            result = simulate(_make(policy=policy), tiny_trace)
+            assert 0.0 < result.misprediction_ratio < 0.5
+
+    def test_reset(self):
+        predictor = _make()
+        for __ in range(8):
+            predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.predict(0x400100) is True
+        assert predictor.history.value == 0

@@ -1,0 +1,150 @@
+"""Tests for the skewing-function family (paper section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skew import (
+    decompose,
+    disperses,
+    naive_family,
+    pack_vector,
+    shuffle_h,
+    shuffle_h_inverse,
+    skew_f0,
+    skew_f1,
+    skew_f2,
+    skew_function_family,
+    xor_shift_family,
+)
+
+WIDTHS = st.integers(min_value=2, max_value=16)
+
+
+class TestShuffleH:
+    def test_known_values_width_4(self):
+        # H(y4 y3 y2 y1) = (y4^y1, y4, y3, y2)
+        assert shuffle_h(0b0001, 4) == 0b1000  # y4=0,y1=1 -> msb 1
+        assert shuffle_h(0b1000, 4) == 0b1100  # y4=1,y1=0 -> msb 1, then y4
+        assert shuffle_h(0b1001, 4) == 0b0100  # y4^y1 = 0
+        assert shuffle_h(0b0000, 4) == 0b0000
+
+    def test_width_one_is_identity(self):
+        assert shuffle_h(0, 1) == 0
+        assert shuffle_h(1, 1) == 1
+        assert shuffle_h_inverse(1, 1) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            shuffle_h(3, 0)
+        with pytest.raises(ValueError):
+            shuffle_h_inverse(3, -1)
+
+    @given(WIDTHS, st.integers(min_value=0))
+    def test_inverse_roundtrip(self, n, y):
+        y &= (1 << n) - 1
+        assert shuffle_h_inverse(shuffle_h(y, n), n) == y
+        assert shuffle_h(shuffle_h_inverse(y, n), n) == y
+
+    @given(WIDTHS)
+    @settings(max_examples=12)
+    def test_bijection_on_small_domains(self, n):
+        n = min(n, 10)
+        domain = range(1 << n)
+        images = {shuffle_h(y, n) for y in domain}
+        assert len(images) == 1 << n
+
+    @given(WIDTHS, st.integers(min_value=0))
+    def test_output_in_range(self, n, y):
+        assert 0 <= shuffle_h(y, n) < (1 << n)
+        assert 0 <= shuffle_h_inverse(y, n) < (1 << n)
+
+
+class TestVectorPacking:
+    def test_decompose_reassembles(self):
+        v = 0b1101_0110_1011
+        v3, v2, v1 = decompose(v, 4)
+        assert v1 == 0b1011
+        assert v2 == 0b0110
+        assert v3 == 0b1101
+        assert (v3 << 8) | (v2 << 4) | v1 == v
+
+    def test_pack_vector_layout(self):
+        # address bits sit above the history bits; low 2 address bits drop.
+        assert pack_vector(0b1100, 0b101, 3) == (0b11 << 3) | 0b101
+
+    def test_pack_vector_zero_history(self):
+        assert pack_vector(0x400, 0b111, 0) == 0x400 >> 2
+
+    def test_pack_vector_masks_history(self):
+        assert pack_vector(0, 0b1111, 2) == 0b11
+
+    def test_pack_vector_rejects_negative_history_bits(self):
+        with pytest.raises(ValueError):
+            pack_vector(0, 0, -1)
+
+
+class TestSkewFamily:
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0))
+    def test_functions_in_range(self, n, v):
+        for f in (skew_f0, skew_f1, skew_f2):
+            assert 0 <= f(v, n) < (1 << n)
+
+    def test_functions_differ(self):
+        n = 6
+        family = skew_function_family(n, 3)
+        vectors = range(1 << (2 * n))
+        # The three functions must not be pairwise identical.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert any(
+                    family[i](v) != family[j](v) for v in vectors
+                ), f"f{i} == f{j}"
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0),
+        st.integers(min_value=0),
+    )
+    @settings(max_examples=200)
+    def test_dispersion_property(self, n, a, b):
+        """Vectors with equal high part and distinct low 2n bits collide
+        in at most one of the three banks (the paper's key property)."""
+        mask = (1 << (2 * n)) - 1
+        v, w = a & mask, b & mask
+        if v == w:
+            return
+        family = skew_function_family(n, 3)
+        assert disperses(family, v, w)
+
+    def test_five_bank_family(self):
+        family = skew_function_family(6, 5)
+        assert len(family) == 5
+        # All five functions produce in-range indices and are distinct.
+        vectors = list(range(1 << 12))
+        for f in family:
+            assert all(0 <= f(v) < 64 for v in vectors[:256])
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert any(family[i](v) != family[j](v) for v in vectors)
+
+    def test_single_bank_family_is_truncation(self):
+        (f,) = skew_function_family(4, 1)
+        assert f(0b110101) == 0b0101
+
+    def test_rejects_even_bank_count(self):
+        with pytest.raises(ValueError):
+            skew_function_family(6, 4)
+
+    def test_xor_shift_family_in_range(self):
+        family = xor_shift_family(6, 3)
+        assert len(family) == 3
+        for f in family:
+            for v in range(4096):
+                assert 0 <= f(v) < 64
+
+    def test_naive_family_is_degenerate(self):
+        family = naive_family(6, 3)
+        for v in range(4096):
+            indices = {f(v) for f in family}
+            assert len(indices) == 1

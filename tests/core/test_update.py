@@ -1,0 +1,24 @@
+"""Tests for update-policy parsing."""
+
+import pytest
+
+from repro.core.update import UpdatePolicy
+
+
+class TestUpdatePolicy:
+    def test_parse_strings(self):
+        assert UpdatePolicy.parse("partial") is UpdatePolicy.PARTIAL
+        assert UpdatePolicy.parse("TOTAL") is UpdatePolicy.TOTAL
+        assert UpdatePolicy.parse("Lazy") is UpdatePolicy.LAZY
+
+    def test_parse_passthrough(self):
+        assert UpdatePolicy.parse(UpdatePolicy.PARTIAL) is UpdatePolicy.PARTIAL
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown update policy"):
+            UpdatePolicy.parse("sometimes")
+        with pytest.raises(ValueError):
+            UpdatePolicy.parse(None)
+
+    def test_values(self):
+        assert {p.value for p in UpdatePolicy} == {"total", "partial", "lazy"}

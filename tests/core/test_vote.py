@@ -1,0 +1,45 @@
+"""Tests for majority voting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vote import majority, majority3
+
+
+class TestMajority:
+    def test_three_way(self):
+        assert majority([True, True, False]) is True
+        assert majority([False, True, False]) is False
+        assert majority([True, True, True]) is True
+
+    def test_single_vote(self):
+        assert majority([True]) is True
+        assert majority([False]) is False
+
+    def test_five_way(self):
+        assert majority([True, False, True, False, True]) is True
+        assert majority([True, False, False, False, True]) is False
+
+    def test_rejects_even_counts(self):
+        with pytest.raises(ValueError):
+            majority([True, False])
+        with pytest.raises(ValueError):
+            majority([])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=9).filter(
+        lambda votes: len(votes) % 2 == 1
+    ))
+    def test_matches_counting(self, votes):
+        assert majority(votes) == (sum(votes) > len(votes) // 2)
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_majority3_matches_general(self, a, b, c):
+        assert majority3(a, b, c) == majority([a, b, c])
+
+    @given(st.lists(st.booleans(), min_size=3, max_size=9).filter(
+        lambda votes: len(votes) % 2 == 1
+    ))
+    def test_invariant_under_negation(self, votes):
+        """Majority of negations is negation of majority (odd counts)."""
+        assert majority([not v for v in votes]) == (not majority(votes))

@@ -1,0 +1,148 @@
+"""Tests for the ablation experiments (beyond-the-paper claims)."""
+
+import pytest
+
+from repro.experiments import (
+    banks_ablation,
+    egskew_ablation,
+    interference_study,
+    pas_extension,
+    skew_ablation,
+    update_ablation,
+)
+from tests.conftest import TEST_SCALE
+
+BENCHES = ("groff", "real_gcc")
+
+
+class TestBanksAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return banks_ablation.run(
+            scale=TEST_SCALE, benchmarks=BENCHES, bank_entries=256
+        )
+
+    def test_three_banks_beat_one(self, result):
+        for per_config in result.results.values():
+            assert per_config["3 banks"] < per_config["1 bank"]
+
+    def test_five_banks_marginal_over_three(self, result):
+        """The paper's unreported finding: 5 banks ~ 3 banks."""
+        for per_config in result.results.values():
+            assert per_config["5 banks"] >= per_config["3 banks"] - 0.01
+
+    def test_bigger_banks_beat_more_banks(self, result):
+        """Spending the budget on bank size is the better trade."""
+        for per_config in result.results.values():
+            assert (
+                per_config["3 banks, 2x size"]
+                <= per_config["5 banks"] * 1.05
+            )
+
+    def test_render(self, result):
+        text = banks_ablation.render(result)
+        assert "Bank-count ablation" in text
+
+
+class TestUpdateAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return update_ablation.run(
+            scale=TEST_SCALE, benchmarks=BENCHES, bank_entries=256
+        )
+
+    def test_partial_is_best(self, result):
+        for per_policy in result.results.values():
+            assert per_policy["partial"] <= per_policy["total"] * 1.02
+            assert per_policy["partial"] <= per_policy["lazy"] * 1.02
+
+    def test_lazy_is_not_a_free_lunch(self, result):
+        """Updating even less than partial hurts somewhere."""
+        worse_somewhere = any(
+            per_policy["lazy"] > per_policy["partial"]
+            for per_policy in result.results.values()
+        )
+        assert worse_somewhere
+
+    def test_render(self, result):
+        assert "Update-policy ablation" in update_ablation.render(result)
+
+
+class TestSkewAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return skew_ablation.run(
+            scale=TEST_SCALE, benchmarks=BENCHES, bank_entries=256
+        )
+
+    def test_naive_family_is_much_worse(self, result):
+        """Identical index functions = no dispersion: a 3x replicated
+        small table. Both real families must beat it."""
+        for per_family in result.results.values():
+            assert per_family["skew"] < per_family["naive"]
+            assert per_family["xor-shift"] < per_family["naive"]
+
+    def test_paper_family_competitive_with_xor_shift(self, result):
+        for per_family in result.results.values():
+            assert per_family["skew"] <= per_family["xor-shift"] * 1.10
+
+    def test_render(self, result):
+        assert "Skewing-function ablation" in skew_ablation.render(result)
+
+
+class TestEgskewAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return egskew_ablation.run(
+            scale=TEST_SCALE,
+            benchmarks=BENCHES,
+            bank_entries=256,
+            history_bits=12,
+            bank0_variants=(0, 4, 12),
+        )
+
+    def test_zero_history_bank0_wins_at_long_history(self, result):
+        for per_variant in result.results.values():
+            assert per_variant[0] <= per_variant[12] * 1.03
+
+    def test_variants_filtered_by_history(self):
+        result = egskew_ablation.run(
+            scale=TEST_SCALE,
+            benchmarks=("groff",),
+            history_bits=4,
+            bank0_variants=(0, 2, 8),
+        )
+        assert result.bank0_variants == [0, 2]
+
+    def test_render(self, result):
+        assert "bank-0 ablation" in egskew_ablation.render(result)
+
+
+class TestInterferenceStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return interference_study.run(
+            scale=TEST_SCALE, benchmarks=BENCHES, entries=256
+        )
+
+    def test_destructive_dominates(self, result):
+        for breakdown in result.results.values():
+            assert breakdown.destructive > breakdown.constructive
+
+    def test_render(self, result):
+        text = interference_study.render(result)
+        assert "Interference classification" in text
+        assert "destr/constr" in text
+
+
+class TestPasExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return pas_extension.run(scale=TEST_SCALE, benchmarks=BENCHES)
+
+    def test_skewed_pas_competitive_at_less_storage(self, result):
+        for values in result.results.values():
+            assert values["skewed-pas"] <= values["pas"] * 1.15
+
+    def test_render(self, result):
+        assert "PAs extension" in pas_extension.render(result)

@@ -1,0 +1,83 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import MARKERS, line_chart
+
+
+class TestLineChart:
+    def test_contains_title_axis_and_legend(self):
+        chart = line_chart(
+            [0, 1, 2],
+            {"a": [0.1, 0.2, 0.3], "b": [0.3, 0.2, 0.1]},
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in lines[-1] and "+ b" in lines[-1]
+        assert any("+-" in line for line in lines)
+
+    def test_extremes_labelled(self):
+        chart = line_chart([0, 1], {"s": [0.0, 0.5]})
+        assert "50.00%" in chart
+        assert "0.00%" in chart
+
+    def test_markers_present(self):
+        chart = line_chart([0, 1, 2], {"s": [0.1, 0.5, 0.9]})
+        assert chart.count("o") >= 3
+
+    def test_monotone_series_renders_monotone(self):
+        """The marker for a rising series must appear on strictly
+        non-increasing rows (row 0 is the top)."""
+        chart = line_chart([0, 1, 2, 3], {"s": [0.1, 0.2, 0.3, 0.4]})
+        rows = [
+            index
+            for index, line in enumerate(chart.splitlines())
+            if "o" in line
+        ]
+        assert rows == sorted(rows)
+
+    def test_none_breaks_line(self):
+        chart = line_chart([0, 1, 2], {"s": [0.1, None, 0.3]})
+        assert chart.count("o") >= 2
+
+    def test_non_percent_labels(self):
+        chart = line_chart([0, 1], {"s": [10.0, 20.0]}, y_percent=False)
+        assert "%" not in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart([0, 1, 2], {"s": [0.5, 0.5, 0.5]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            line_chart([0], {"s": [0.1]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [0.1]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [None, None]})
+        too_many = {f"s{i}": [0.1, 0.2] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError):
+            line_chart([0, 1], too_many)
+
+
+class TestExperimentPlots:
+    def test_figure9_plot(self):
+        from repro.experiments import figure9
+
+        chart = figure9.render_plot(figure9.run())
+        assert "P_dm" in chart and "P_sk" in chart
+
+    def test_figure_plots_via_runner(self):
+        from repro.experiments.runner import run_experiment
+
+        chart = run_experiment("figure10", plot=True)
+        assert "Figure 10" in chart
+
+    def test_plot_flag_ignored_without_render_plot(self):
+        from repro.experiments.runner import run_experiment
+
+        text = run_experiment("figure3", plot=True)
+        assert "Figure 3" in text  # falls back to the table renderer

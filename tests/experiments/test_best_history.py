@@ -1,0 +1,48 @@
+"""Tests for the best-history-length experiment (paper §6 claim)."""
+
+import pytest
+
+from repro.experiments import best_history
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return best_history.run(
+        scale=TEST_SCALE,
+        benchmarks=("groff", "real_gcc"),
+        history_lengths=(0, 2, 4, 6, 8, 10, 12),
+        bank_entries=256,
+        gshare_entries=2048,
+    )
+
+
+class TestBestHistory:
+    def test_some_history_always_beats_none(self, result):
+        for per_bench in result.curves.values():
+            for curve in per_bench.values():
+                assert min(curve[1:]) < curve[0]
+
+    def test_egskew_best_history_not_shorter_than_gskew(self, result):
+        """The §6 claim, in relative form: the enhanced scheme's optimum
+        sits at an equal or longer history on every benchmark."""
+        for benchmark in result.curves["gskew"]:
+            assert result.best("egskew", benchmark) >= result.best(
+                "gskew", benchmark
+            ) - 2  # grid-step tolerance
+
+    def test_best_lookup_consistent_with_curves(self, result):
+        for design, per_bench in result.curves.items():
+            for benchmark, curve in per_bench.items():
+                best = result.best(design, benchmark)
+                index = result.history_lengths.index(best)
+                assert curve[index] == min(curve)
+
+    def test_recommended_in_grid(self, result):
+        for design in ("gskew", "egskew", "gshare"):
+            assert result.recommended(design) in result.history_lengths
+
+    def test_render(self, result):
+        text = best_history.render(result)
+        assert "Best history length" in text
+        assert "RECOMMENDED" in text

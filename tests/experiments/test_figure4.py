@@ -1,0 +1,48 @@
+"""Tests for the Figure 4 structure description."""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+class TestFigure4:
+    def test_default_is_papers_headline_configuration(self):
+        result = figure4.run()
+        assert "gskew" in result.kind
+        assert len(result.banks) == 3
+        assert result.history_bits == 12
+        assert result.storage_bits == 3 * 4096 * 2
+
+    def test_egskew_bank0_labelled_address_indexed(self):
+        result = figure4.run("egskew:3x512:h8")
+        assert "enhanced" in result.kind
+        assert "address mod 2^n" in result.banks[0]
+        assert "f1(V)" in result.banks[1]
+
+    def test_bcgskew_structure(self):
+        result = figure4.run("2bcgskew:1k:h10")
+        assert "2Bc-gskew" in result.kind
+        assert len(result.banks) == 4
+        assert any("META" in label for label in result.banks)
+        assert "META selects" in result.vote
+
+    def test_five_banks(self):
+        result = figure4.run("gskew:5x256:h4")
+        assert len(result.banks) == 5
+        assert result.vote == "majority of 5"
+
+    def test_rejects_non_skewed_specs(self):
+        with pytest.raises(ValueError, match="skewed-family"):
+            figure4.run("gshare:4k:h4")
+
+    def test_render_contains_diagram(self):
+        text = figure4.render(figure4.run())
+        assert "Figure 4" in text
+        assert "majority of 3" in text
+        assert "taken / not taken" in text
+        assert text.count("+--") >= 4  # bank boxes
+
+    def test_runner_integration(self):
+        from repro.experiments.runner import run_experiment
+
+        assert "Figure 4" in run_experiment("figure4")

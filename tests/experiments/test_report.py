@@ -1,0 +1,55 @@
+"""Tests for the ASCII report renderers."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table, percent
+
+
+class TestPercent:
+    def test_paper_style(self):
+        assert percent(0.0547) == "5.47 %"
+        assert percent(0.0547, digits=1) == "5.5 %"
+        assert percent(0.0) == "0.00 %"
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["bench", 22]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) == {"-"}
+        assert lines[3].endswith("1")
+        assert lines[4].endswith("22")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "x",
+            [1, 2],
+            {"s1": [0.1, 0.2], "s2": [0.3, 0.4]},
+        )
+        assert "s1" in text and "s2" in text
+        assert "10.00 %" in text
+        assert "40.00 %" in text
+
+    def test_missing_points_dash(self):
+        text = format_series("x", [1, 2], {"s": [0.1]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_none_value_dash(self):
+        text = format_series("x", [1], {"s": [None]})
+        assert text.splitlines()[-1].strip().endswith("-")

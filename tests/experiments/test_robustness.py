@@ -1,0 +1,51 @@
+"""Tests for the seed-robustness experiment."""
+
+import pytest
+
+from repro.experiments import robustness
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return robustness.run(scale=TEST_SCALE, benchmark="groff", seeds=(1, 2, 3))
+
+
+class TestRobustness:
+    def test_all_comparisons_all_seeds(self, result):
+        for draws in result.comparisons.values():
+            assert len(draws) == 3
+            for draw in draws:
+                assert 0.0 < draw.a_ratio < 0.5
+                assert 0.0 < draw.b_ratio < 0.5
+                assert 0.0 <= draw.p_value <= 1.0
+
+    def test_egskew_claim_robust_across_seeds(self, result):
+        """The Figure 12 claim must hold for the majority of draws."""
+        assert result.win_rate("e-gskew vs gskew (h12)") >= 2 / 3
+
+    def test_gskew_claim_mostly_robust(self, result):
+        assert result.win_rate("gskew vs gshare (h4)") >= 1 / 3
+
+    def test_distinct_seeds_give_distinct_traces(self, result):
+        for draws in result.comparisons.values():
+            ratios = {draw.a_ratio for draw in draws}
+            assert len(ratios) > 1
+
+    def test_render(self, result):
+        text = robustness.render(result)
+        assert "Robustness over seeds" in text
+        assert "McNemar" in text
+        assert "wins" in text
+
+    def test_custom_comparisons(self):
+        result = robustness.run(
+            scale=TEST_SCALE,
+            benchmark="verilog",
+            seeds=(1,),
+            comparisons={
+                "big vs small": ("gshare:4k:h4", "gshare:64:h4", "")
+            },
+        )
+        draws = result.comparisons["big vs small"]
+        assert draws[0].a_ratio < draws[0].b_ratio

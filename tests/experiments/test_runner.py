@@ -1,0 +1,74 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestRunExperiment:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "banks",
+            "update",
+            "skew-functions",
+            "egskew-bank0",
+            "interference",
+            "pas",
+            "shootout",
+            "encoding",
+            "opt-vs-lru",
+            "os-pressure",
+            "context-switch",
+            "robustness",
+            "best-history",
+            "claims",
+            "warmup",
+            "workload-class",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_pure_math_experiment(self):
+        text = run_experiment("figure9")
+        assert "P_dm" in text
+
+    def test_run_with_scale(self):
+        text = run_experiment("table1", scale=0.05)
+        assert "Table 1" in text
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("figure99")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure12" in out
+
+    def test_unknown_is_error(self, capsys):
+        assert main(["nonsense"]) == 2
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["figure10"]) == 0
+        out = capsys.readouterr().out
+        assert "=== figure10 ===" in out
+        assert "P_sk" in out
+
+    def test_scale_flag(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the Table 1 / Table 2 experiments (qualitative paper claims)."""
+
+import pytest
+
+from repro.experiments import table1, table2
+from tests.conftest import TEST_SCALE
+
+BENCHES = ("groff", "real_gcc", "nroff")
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2.run(scale=TEST_SCALE, benchmarks=BENCHES)
+
+
+class TestTable1:
+    def test_all_benchmarks_present(self, table1_result):
+        names = [row.name for row in table1_result.rows]
+        assert names == [
+            "groff",
+            "gs",
+            "mpeg_play",
+            "nroff",
+            "real_gcc",
+            "verilog",
+        ]
+
+    def test_orderings_match_paper(self, table1_result):
+        by_name = {row.name: row for row in table1_result.rows}
+        # nroff has the most dynamic branches, verilog the fewest.
+        dynamics = {n: r.dynamic for n, r in by_name.items()}
+        assert dynamics["nroff"] == max(dynamics.values())
+        assert dynamics["verilog"] == min(dynamics.values())
+        # real_gcc has the largest static footprint.
+        statics = {n: r.static for n, r in by_name.items()}
+        assert statics["real_gcc"] == max(statics.values())
+
+    def test_counts_positive(self, table1_result):
+        for row in table1_result.rows:
+            assert row.dynamic > 0
+            assert 0 < row.static <= row.dynamic
+
+    def test_render(self, table1_result):
+        text = table1.render(table1_result)
+        assert "Table 1" in text
+        assert "real_gcc" in text
+        assert "16716" in text  # paper column present
+
+
+class TestTable2:
+    def test_two_bit_beats_one_bit(self, table2_result):
+        for row in table2_result.rows:
+            assert row.mispredict_2bit <= row.mispredict_1bit
+
+    def test_longer_history_helps_unaliased(self, table2_result):
+        for bench in BENCHES:
+            h4 = table2_result.row(bench, 4)
+            h12 = table2_result.row(bench, 12)
+            assert h12.mispredict_2bit <= h4.mispredict_2bit * 1.05
+
+    def test_substream_ratio_grows_with_history(self, table2_result):
+        for bench in BENCHES:
+            assert (
+                table2_result.row(bench, 12).substream_ratio
+                > table2_result.row(bench, 4).substream_ratio
+            )
+
+    def test_misprediction_rates_in_plausible_band(self, table2_result):
+        for row in table2_result.rows:
+            assert 0.005 < row.mispredict_2bit < 0.20
+
+    def test_compulsory_below_capacity_scale(self, table2_result):
+        for row in table2_result.rows:
+            assert 0.0 < row.compulsory_ratio < 0.25
+
+    def test_nroff_easier_than_real_gcc(self, table2_result):
+        assert (
+            table2_result.row("nroff", 4).mispredict_2bit
+            < table2_result.row("real_gcc", 4).mispredict_2bit
+        )
+
+    def test_row_lookup_raises_on_missing(self, table2_result):
+        with pytest.raises(KeyError):
+            table2_result.row("doom", 4)
+
+    def test_render(self, table2_result):
+        text = table2.render(table2_result)
+        assert "Table 2" in text
+        assert "(4-bit history)" in text
+        assert "(12-bit history)" in text

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public API surface — if one breaks, a user's
+first contact with the library breaks.  Each test imports the example
+as a module and runs its ``main()`` (traces are memoised process-wide,
+so the cost is dominated by the first example only).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "aliasing_analysis",
+    "design_space",
+    "custom_workload",
+    "analytical_model",
+    "statistical_comparison",
+    "performance_impact",
+]
+
+
+def _load(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"])
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_quickstart_reports_both_predictors(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "gskew" in out
+    assert "gshare" in out
+    assert "%" in out
+
+
+def test_design_space_respects_budget(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["design_space.py", "4096"])
+    _load("design_space").main()
+    out = capsys.readouterr().out
+    assert "best design under 4096 bits" in out

@@ -1,0 +1,109 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+These run the real pipeline (synthetic IBS clones -> simulation engine ->
+predictors) at a moderate scale and assert the qualitative results the
+paper reports.  They are the contract of the reproduction: if one of
+these fails, the repository no longer reproduces the paper.
+"""
+
+import pytest
+
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.traces.synthetic.workloads import ibs_trace
+
+SCALE = 0.5
+BENCHES = ("groff", "real_gcc", "nroff")
+
+
+def _ratio(spec, trace):
+    return simulate(make_predictor(spec), trace).misprediction_ratio
+
+
+@pytest.fixture(scope="module", params=BENCHES)
+def trace(request):
+    return ibs_trace(request.param, scale=SCALE)
+
+
+class TestHeadlineClaims:
+    def test_gskew_beats_equal_storage_gshare_past_knee(self, trace):
+        """Section 5.1: for comparable storage, 3-bank partial-update
+        gskew consistently beats 1-bank gshare once gshare's capacity
+        aliasing has vanished.  3x1024 = 3072 entries vs 4096 gshare."""
+        gskew = _ratio("gskew:3x1k:h4:partial", trace)
+        gshare = _ratio("gshare:4k:h4", trace)
+        assert gskew <= gshare * 1.05
+
+    def test_half_storage_claim(self, trace):
+        """'A skewed branch predictor with partial update achieves the
+        same prediction accuracy as a 1-bank predictor, but requires
+        approximately half the storage resources': gskew with 3x512 =
+        1536 entries vs gshare with 4096."""
+        gskew = _ratio("gskew:3x512:h4:partial", trace)
+        gshare = _ratio("gshare:4k:h4", trace)
+        assert gskew <= gshare * 1.15
+
+    def test_partial_update_beats_total(self, trace):
+        partial = _ratio("gskew:3x512:h4:partial", trace)
+        total = _ratio("gskew:3x512:h4:total", trace)
+        assert partial <= total * 1.02
+
+    def test_gskew_partial_matches_fully_associative(self, trace):
+        """Figure 8: a 3xN tag-less gskew with partial update delivers
+        approximately an N-entry fully-associative LRU predictor."""
+        gskew = _ratio("gskew:3x256:h4:partial", trace)
+        associative = _ratio("fa:256:h4", trace)
+        assert gskew == pytest.approx(associative, abs=0.02)
+
+    def test_gshare_beats_gselect(self, trace):
+        """Section 3.2: gshare's lower aliasing ratio translates to a
+        lower misprediction rate at equal size and history."""
+        gshare = _ratio("gshare:1k:h8", trace)
+        gselect = _ratio("gselect:1k:h8", trace)
+        assert gshare <= gselect * 1.05
+
+    def test_egskew_extends_useful_history(self, trace):
+        """Section 6: at long history, e-gskew beats plain gskew."""
+        egskew = _ratio("egskew:3x512:h12:partial", trace)
+        gskew = _ratio("gskew:3x512:h12:partial", trace)
+        assert egskew <= gskew * 1.02
+
+    def test_egskew_matches_gshare_at_double_storage(self, trace):
+        """Section 6: 3x4K e-gskew ~ 32K gshare (scaled /8)."""
+        egskew = min(
+            _ratio(f"egskew:3x512:h{h}:partial", trace) for h in (4, 8, 12)
+        )
+        gshare = min(
+            _ratio(f"gshare:4k:h{h}", trace) for h in (4, 8, 12)
+        )
+        assert egskew <= gshare * 1.15
+
+    def test_five_banks_marginal(self, trace):
+        """Section 5.1: very little benefit from five banks."""
+        three = _ratio("gskew:3x512:h4:partial", trace)
+        five = _ratio("gskew:5x512:h4:partial", trace)
+        assert abs(five - three) < 0.01
+
+    def test_dynamic_beats_static(self, trace):
+        taken = _ratio("taken", trace)
+        bimodal = _ratio("bimodal:1k", trace)
+        gskew = _ratio("gskew:3x512:h4:partial", trace)
+        assert gskew < bimodal < taken
+
+
+class TestCrossPredictorSanity:
+    def test_unaliased_is_floor_for_same_history(self, trace):
+        """No finite table beats the infinite one at equal history."""
+        ideal = _ratio("unaliased:h8", trace)
+        for spec in ("gshare:4k:h8", "gskew:3x1k:h8:partial"):
+            assert ideal <= _ratio(spec, trace) + 0.005
+
+    def test_more_storage_never_hurts_much(self, trace):
+        small = _ratio("gshare:256:h4", trace)
+        large = _ratio("gshare:8k:h4", trace)
+        assert large <= small
+
+    def test_results_deterministic(self, trace):
+        assert _ratio("gskew:3x256:h4:partial", trace) == _ratio(
+            "gskew:3x256:h4:partial", trace
+        )

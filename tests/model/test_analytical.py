@@ -1,0 +1,154 @@
+"""Tests for the analytical model (formulas 1-4 and their properties)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.analytical import (
+    aliasing_probability,
+    aliasing_probability_approx,
+    crossover_distance,
+    p_dm,
+    p_dm_worst_case,
+    p_sk,
+    p_sk_multibank,
+    p_sk_worst_case,
+)
+
+PROBS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestAliasingProbability:
+    def test_zero_distance_never_aliases(self):
+        assert aliasing_probability(0, 1024) == 0.0
+
+    def test_first_encounter_is_certain_alias(self):
+        assert aliasing_probability(None, 1024) == 1.0
+        assert aliasing_probability_approx(None, 1024) == 1.0
+
+    def test_formula_one_exact(self):
+        assert aliasing_probability(10, 100) == pytest.approx(
+            1 - (1 - 1 / 100) ** 10
+        )
+
+    def test_approximation_close_for_large_n(self):
+        exact = aliasing_probability(500, 4096)
+        approx = aliasing_probability_approx(500, 4096)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_monotone_in_distance(self):
+        values = [aliasing_probability(d, 256) for d in range(0, 2000, 50)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_entries(self):
+        assert aliasing_probability(100, 64) > aliasing_probability(100, 4096)
+
+    def test_single_entry_table(self):
+        assert aliasing_probability(0, 1) == 0.0
+        assert aliasing_probability(5, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aliasing_probability(5, 0)
+        with pytest.raises(ValueError):
+            aliasing_probability(-1, 8)
+        with pytest.raises(ValueError):
+            aliasing_probability_approx(-1, 8)
+        with pytest.raises(ValueError):
+            aliasing_probability_approx(1, 0)
+
+
+class TestDestructiveFormulas:
+    def test_paper_worst_case_forms(self):
+        """At b = 1/2: P_dm = p/2 and P_sk = (3/4)p^2(1-p) + p^3/2."""
+        for p in (0.0, 0.1, 0.35, 0.8, 1.0):
+            assert p_dm_worst_case(p) == pytest.approx(p / 2)
+            assert p_sk_worst_case(p) == pytest.approx(
+                0.75 * p * p * (1 - p) + 0.5 * p**3
+            )
+
+    @given(PROBS, PROBS)
+    def test_outputs_are_probabilities(self, p, b):
+        assert 0.0 <= p_dm(p, b) <= 1.0
+        assert 0.0 <= p_sk(p, b) <= 1.0
+
+    @given(PROBS)
+    def test_skew_beats_direct_mapped_at_equal_p(self, p):
+        """P_sk <= P_dm for the same per-bank aliasing probability: the
+        vote can only help when p is equal."""
+        assert p_sk(p, 0.5) <= p_dm(p, 0.5) + 1e-12
+
+    @given(PROBS, PROBS)
+    def test_multibank_reduces_to_paper_formula(self, p, b):
+        """The general M-bank expression must equal formula (3) at M=3."""
+        assert p_sk_multibank(p, b, 3) == pytest.approx(
+            p_sk(p, b), abs=1e-12
+        )
+
+    @given(PROBS, PROBS)
+    def test_one_bank_reduces_to_direct_mapped(self, p, b):
+        assert p_sk_multibank(p, b, 1) == pytest.approx(p_dm(p, b), abs=1e-12)
+
+    def test_bias_extremes_are_harmless(self):
+        """b = 0 or 1: every substream agrees, aliasing cannot destroy."""
+        for p in (0.2, 0.9):
+            assert p_dm(p, 0.0) == 0.0
+            assert p_dm(p, 1.0) == 0.0
+            assert p_sk(p, 0.0) == pytest.approx(0.0)
+            assert p_sk(p, 1.0) == pytest.approx(0.0)
+
+    def test_worst_case_bias_is_half(self):
+        for b in (0.1, 0.3, 0.7, 0.95):
+            assert p_dm(0.5, b) <= p_dm(0.5, 0.5)
+            assert p_sk(0.5, b) <= p_sk(0.5, 0.5) + 1e-12
+
+    def test_quadratic_leading_order(self):
+        """For small p, P_sk ~ (3/4) p^2 while P_dm ~ p/2: the polynomial
+        vs linear growth that is the paper's central explanation."""
+        p = 1e-4
+        assert p_sk_worst_case(p) == pytest.approx(0.75 * p * p, rel=1e-3)
+        assert p_sk_worst_case(p) / p_dm_worst_case(p) < 0.01
+
+    def test_five_banks_beat_three_at_equal_p(self):
+        for p in (0.05, 0.2, 0.5):
+            assert p_sk_multibank(p, 0.5, 5) <= p_sk_multibank(p, 0.5, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p_dm(1.5, 0.5)
+        with pytest.raises(ValueError):
+            p_sk(0.5, -0.1)
+        with pytest.raises(ValueError):
+            p_sk_multibank(0.5, 0.5, 2)
+
+
+class TestCrossover:
+    def test_paper_crossover_near_tenth_of_table(self):
+        """Equal storage: 3x(N/3) skewed beats N-entry direct-mapped up
+        to D ~ N/10 (the paper's reported crossover)."""
+        for entries in (3 * 1024, 3 * 4096):
+            crossover = crossover_distance(entries, b=0.5, banks=3)
+            assert entries / 20 < crossover < entries / 5
+
+    def test_below_crossover_skew_wins(self):
+        entries = 3 * 1024
+        crossover = crossover_distance(entries)
+        d = crossover // 2
+        p_bank = aliasing_probability(d, entries // 3)
+        p_direct = aliasing_probability(d, entries)
+        assert p_sk(p_bank, 0.5) < p_dm(p_direct, 0.5)
+
+    def test_above_crossover_direct_mapped_wins(self):
+        """Long distances are capacity aliasing: the redundancy hurts."""
+        entries = 3 * 1024
+        crossover = crossover_distance(entries)
+        d = crossover * 4
+        p_bank = aliasing_probability(d, entries // 3)
+        p_direct = aliasing_probability(d, entries)
+        assert p_sk(p_bank, 0.5) > p_dm(p_direct, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_distance(2, banks=3)

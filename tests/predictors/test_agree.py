@@ -1,0 +1,98 @@
+"""Tests for the agree predictor (Sprangle et al., ISCA 1997)."""
+
+import random
+
+from repro.predictors.agree import AgreePredictor
+from repro.sim.engine import simulate
+from repro.traces.trace import BranchRecord, Trace
+
+
+def _make(index_bits=6, history=4):
+    return AgreePredictor(index_bits, history)
+
+
+class TestBiasLatching:
+    def test_bias_latched_on_first_outcome(self):
+        predictor = _make()
+        predictor.predict_and_update(0x400100, False)
+        assert predictor.bias_bit(0x400100) is False
+        # Later outcomes do not re-latch.
+        predictor.predict_and_update(0x400100, True)
+        assert predictor.bias_bit(0x400100) is False
+
+    def test_default_bias_taken(self):
+        assert _make().bias_bit(0x400100) is True
+
+    def test_prediction_is_bias_xnor_agree(self):
+        predictor = _make()
+        predictor.predict_and_update(0x400100, False)  # bias = not-taken
+        # PHT reset state predicts "agree", so prediction = bias = False.
+        assert predictor.predict(0x400100) is False
+
+
+class TestAntiAliasing:
+    def test_opposite_biased_branches_coexist_in_one_entry(self):
+        """The agree selling point: two opposite branches sharing a PHT
+        entry both keep predicting correctly, because both AGREE with
+        their own bias."""
+        # A single-entry PHT but a private bias bit per branch.
+        predictor = AgreePredictor(
+            index_bits=0, history_bits=0, bias_table_bits=6
+        )
+        a, b = 0x400100, 0x400104
+        misses = 0
+        for step in range(40):
+            if predictor.predict_and_update(a, True) is not True:
+                misses += 1
+            if predictor.predict_and_update(b, False) is not False:
+                misses += 1
+        assert misses <= 2  # only warm-up, despite total PHT sharing
+
+    def test_learns_disagreeing_branch(self):
+        """A branch whose behaviour flips after bias latching must still
+        be predictable (the PHT learns 'disagree')."""
+        predictor = _make()
+        predictor.predict_and_update(0x400100, True)  # bias: taken
+        for __ in range(6):
+            predictor.predict_and_update(0x400100, False)
+        assert predictor.predict(0x400100) is False
+
+    def test_competitive_with_gshare(self, small_trace):
+        from repro.predictors.gshare import GsharePredictor
+
+        agree = simulate(_make(index_bits=8, history=4), small_trace)
+        gshare = simulate(GsharePredictor(8, 4), small_trace)
+        assert agree.misprediction_ratio <= gshare.misprediction_ratio * 1.10
+
+
+class TestMechanics:
+    def test_fused_path_matches_generic(self):
+        rng = random.Random(17)
+        fused = _make()
+        generic = _make()
+        for __ in range(400):
+            address = 0x400000 + rng.randrange(64) * 4
+            taken = rng.random() < 0.6
+            expected = generic.predict(address)
+            generic.train(address, taken)
+            generic.notify_outcome(address, taken)
+            assert fused.predict_and_update(address, taken) == expected
+        assert fused.pht.counters.values == generic.pht.counters.values
+        assert fused._bias == generic._bias
+
+    def test_storage_counts_bias_bits(self):
+        predictor = AgreePredictor(10, 8, bias_table_bits=9)
+        assert predictor.storage_bits == 1024 * 2 + 512
+
+    def test_reset(self):
+        predictor = _make()
+        predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.bias_bit(0x400100) is True
+        assert predictor.history.value == 0
+
+    def test_via_spec_factory(self, tiny_trace):
+        from repro.sim.config import make_predictor
+
+        result = simulate(make_predictor("agree:1k:h6"), tiny_trace)
+        assert 0.0 < result.misprediction_ratio < 0.5

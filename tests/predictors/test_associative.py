@@ -1,0 +1,79 @@
+"""Tests for the fully-associative LRU tagged predictor (Figure 8)."""
+
+import pytest
+
+from repro.predictors.associative import FullyAssociativePredictor
+
+
+class TestLRUBehaviour:
+    def test_miss_predicts_always_taken(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=0)
+        assert predictor.predict(0x400100) is True
+
+    def test_hit_uses_counter(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=0)
+        predictor.predict_and_update(0x400100, False)  # install weak-NT
+        assert predictor.predict(0x400100) is False
+
+    def test_lru_eviction_order(self):
+        predictor = FullyAssociativePredictor(entries=2, history_bits=0)
+        predictor.predict_and_update(0x100, False)
+        predictor.predict_and_update(0x104, False)
+        # Touch 0x100 so 0x104 becomes LRU.
+        predictor.predict_and_update(0x100, False)
+        predictor.predict_and_update(0x108, False)  # evicts 0x104
+        assert predictor.predict(0x104) is True  # miss -> static taken
+        assert predictor.predict(0x100) is False  # still resident
+
+    def test_capacity_never_exceeded(self):
+        predictor = FullyAssociativePredictor(entries=3, history_bits=0)
+        for pc in range(0x100, 0x100 + 40, 4):
+            predictor.predict_and_update(pc, True)
+        assert len(predictor.table) == 3
+
+    def test_history_part_of_tag(self):
+        predictor = FullyAssociativePredictor(entries=8, history_bits=2)
+        predictor.history.reset(0b00)
+        predictor.train(0x400100, False)
+        predictor.history.reset(0b01)
+        # Different history: different tag, so this is a miss.
+        assert predictor.predict(0x400100) is True
+
+    def test_hit_miss_counters(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=0)
+        predictor.predict_and_update(0x100, True)
+        predictor.predict_and_update(0x100, True)
+        predictor.predict_and_update(0x104, True)
+        assert predictor.misses == 2
+        assert predictor.hits == 1
+        assert predictor.miss_ratio == pytest.approx(2 / 3)
+
+    def test_storage_includes_tags(self):
+        predictor = FullyAssociativePredictor(
+            entries=64, history_bits=4, counter_bits=2, tag_bits=32
+        )
+        assert predictor.storage_bits == 64 * 34
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            FullyAssociativePredictor(entries=0, history_bits=4)
+
+    def test_reset(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=2)
+        predictor.predict_and_update(0x100, False)
+        predictor.reset()
+        assert len(predictor.table) == 0
+        assert predictor.hits == 0 and predictor.misses == 0
+        assert predictor.history.value == 0
+
+    def test_train_installs_on_miss(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=0)
+        predictor.train(0x400100, False)
+        assert predictor.predict(0x400100) is False
+
+    def test_counter_saturation_on_hits(self):
+        predictor = FullyAssociativePredictor(entries=4, history_bits=0)
+        for __ in range(5):
+            predictor.predict_and_update(0x100, True)
+        key = (0x100 >> 2, 0)
+        assert predictor.table[key] == 3

@@ -1,0 +1,100 @@
+"""Tests for the flush-on-context-switch wrapper."""
+
+from repro.predictors.flush import FlushOnSwitchPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.engine import simulate
+
+
+def _wrapped(**kwargs):
+    return FlushOnSwitchPredictor(GsharePredictor(6, 4), **kwargs)
+
+
+USER = 0x0040_0000
+KERNEL = 0x8000_0000
+
+
+class TestSwitchDetection:
+    def test_counts_switches(self):
+        predictor = _wrapped()
+        predictor.predict_and_update(USER, True)
+        predictor.predict_and_update(USER + 4, True)
+        predictor.predict_and_update(KERNEL, True)
+        predictor.predict_and_update(USER, True)
+        assert predictor.switches == 2
+
+    def test_unconditionals_also_switch(self):
+        predictor = _wrapped()
+        predictor.notify_unconditional(USER)
+        predictor.notify_unconditional(KERNEL)
+        assert predictor.switches == 1
+
+    def test_no_switch_within_segment(self):
+        predictor = _wrapped()
+        for offset in range(0, 64, 4):
+            predictor.predict_and_update(USER + offset, True)
+        assert predictor.switches == 0
+
+
+class TestFlushSemantics:
+    def test_history_flushed(self):
+        predictor = _wrapped(flush_history=True, flush_tables=False)
+        for __ in range(5):
+            predictor.predict_and_update(USER, True)
+        assert predictor.inner.history.value != 0
+        predictor.predict_and_update(KERNEL, True)
+        # After the switch event itself, history holds only that branch.
+        assert predictor.inner.history.value == 1
+
+    def test_tables_survive_history_flush(self):
+        predictor = _wrapped(flush_history=True, flush_tables=False)
+        for __ in range(8):
+            predictor.predict_and_update(USER, False)
+        predictor.predict_and_update(KERNEL, True)
+        predictor.inner.history.reset()
+        assert predictor.inner.predict(USER) is False  # still trained
+
+    def test_tables_flushed(self):
+        predictor = _wrapped(flush_history=True, flush_tables=True)
+        for __ in range(8):
+            predictor.predict_and_update(USER, False)
+        predictor.predict_and_update(KERNEL, True)
+        predictor.inner.history.reset()
+        assert predictor.inner.predict(USER) is True  # back to reset state
+
+    def test_reset_clears_wrapper_state(self):
+        predictor = _wrapped()
+        predictor.predict_and_update(USER, True)
+        predictor.predict_and_update(KERNEL, True)
+        predictor.reset()
+        assert predictor.switches == 0
+
+    def test_storage_delegates(self):
+        predictor = _wrapped()
+        assert predictor.storage_bits == predictor.inner.storage_bits
+
+    def test_name_encodes_flush_mode(self):
+        assert _wrapped(flush_history=True).name.endswith("+flushH")
+        assert _wrapped(
+            flush_history=True, flush_tables=True
+        ).name.endswith("+flushHT")
+
+
+class TestBehaviour:
+    def test_history_flush_is_cheap_table_flush_is_costly(self, small_trace):
+        shared = simulate(
+            GsharePredictor(8, 6), small_trace
+        ).misprediction_ratio
+        history_flush = simulate(
+            FlushOnSwitchPredictor(
+                GsharePredictor(8, 6), flush_history=True
+            ),
+            small_trace,
+        ).misprediction_ratio
+        table_flush = simulate(
+            FlushOnSwitchPredictor(
+                GsharePredictor(8, 6), flush_history=True, flush_tables=True
+            ),
+            small_trace,
+        ).misprediction_ratio
+        assert abs(history_flush - shared) < 0.02
+        assert table_flush > shared

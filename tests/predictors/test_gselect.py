@@ -1,0 +1,73 @@
+"""Tests for gselect (concatenation indexing)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predictors.gselect import GselectPredictor, gselect_index
+
+
+class TestIndexFunction:
+    def test_concatenation_layout(self):
+        # 6 index bits, 2 history bits: [a3 a2 a1 a0 | h2 h1]
+        index = gselect_index(0b111100 << 2, 0b01, 6, 2)
+        assert index == (0b1100 << 2) | 0b01
+
+    def test_zero_history_is_truncation(self):
+        assert gselect_index(0x400104, 7, 8, 0) == (0x400104 >> 2) & 0xFF
+
+    def test_history_swamps_index_when_long(self):
+        """k >= n leaves no address bits at all (the paper's explanation
+        for gselect's weakness at long histories)."""
+        index_bits = 4
+        for address in (0x400000, 0x400100, 0x7FF000):
+            assert gselect_index(address, 0b1011, index_bits, 4) == 0b1011
+            assert gselect_index(address, 0xFB, index_bits, 8) == 0xB
+
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_index_in_range(self, address, history, index_bits, history_bits):
+        index = gselect_index(address, history, index_bits, history_bits)
+        assert 0 <= index < (1 << index_bits)
+
+    def test_same_address_different_history_distinct(self):
+        """With k < n, every history value gets a distinct entry."""
+        indices = {
+            gselect_index(0x400100, h, 8, 3) for h in range(8)
+        }
+        assert len(indices) == 8
+
+
+class TestPredictor:
+    def test_learns_biased_branch(self):
+        predictor = GselectPredictor(index_bits=6, history_bits=2)
+        for __ in range(10):
+            predictor.predict_and_update(0x400100, True)
+        assert predictor.predict(0x400100) is True
+
+    def test_fused_path_matches_generic(self):
+        import random
+
+        rng = random.Random(8)
+        fused = GselectPredictor(5, 3)
+        generic = GselectPredictor(5, 3)
+        for __ in range(300):
+            address = 0x400000 + rng.randrange(64) * 4
+            taken = rng.random() < 0.4
+            expected = generic.predict(address)
+            generic.train(address, taken)
+            generic.notify_outcome(address, taken)
+            assert fused.predict_and_update(address, taken) == expected
+
+    def test_storage(self):
+        assert GselectPredictor(11, 4).storage_bits == 2 * 2048
+
+    def test_reset(self):
+        predictor = GselectPredictor(6, 2)
+        predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.history.value == 0
+        assert predictor.predict(0x400100) is True

@@ -1,0 +1,49 @@
+"""Tests for the static baseline predictors."""
+
+from repro.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNPredictor,
+)
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0x400100) is True
+        predictor.predict_and_update(0x400100, False)
+        assert predictor.predict(0x400100) is True
+        assert predictor.storage_bits == 0
+
+    def test_always_not_taken(self):
+        predictor = AlwaysNotTakenPredictor()
+        assert predictor.predict(0x400100) is False
+        predictor.train(0x400100, True)
+        assert predictor.predict(0x400100) is False
+        assert predictor.storage_bits == 0
+
+    def test_btfn_backward_taken(self):
+        predictor = BTFNPredictor()
+        predictor.set_target(0x400000)  # target below branch: backward
+        assert predictor.predict(0x400100) is True
+
+    def test_btfn_forward_not_taken(self):
+        predictor = BTFNPredictor()
+        predictor.set_target(0x400200)
+        assert predictor.predict(0x400100) is False
+
+    def test_btfn_defaults_forward_without_target(self):
+        predictor = BTFNPredictor()
+        assert predictor.predict(0x400100) is False
+
+    def test_btfn_target_cleared_by_train(self):
+        predictor = BTFNPredictor()
+        predictor.set_target(0x400000)
+        predictor.train(0x400100, True)
+        assert predictor.predict(0x400100) is False
+
+    def test_reset(self):
+        predictor = BTFNPredictor()
+        predictor.set_target(0x400000)
+        predictor.reset()
+        assert predictor.predict(0x400100) is False

@@ -1,0 +1,107 @@
+"""Tests for the PAs per-address predictors (paper future work)."""
+
+import pytest
+
+from repro.predictors.two_level import PAsPredictor, SkewedPAsPredictor
+from repro.sim.engine import simulate
+
+
+class TestPAs:
+    def test_rejects_history_wider_than_index(self):
+        with pytest.raises(ValueError):
+            PAsPredictor(
+                history_table_bits=4, history_bits=8, index_bits=6
+            )
+
+    def test_per_address_histories_are_independent(self):
+        predictor = PAsPredictor(
+            history_table_bits=6, history_bits=4, index_bits=10
+        )
+        predictor.notify_outcome(0x400100, True)
+        predictor.notify_outcome(0x400100, True)
+        predictor.notify_outcome(0x400104, False)
+        assert predictor.histories.read(0x400100) == 0b11
+        assert predictor.histories.read(0x400104) == 0b0
+
+    def test_learns_local_pattern(self):
+        """A TN-alternating branch is perfectly predictable from its own
+        2-bit local history — the PAs selling point."""
+        predictor = PAsPredictor(
+            history_table_bits=6, history_bits=4, index_bits=10
+        )
+        pc = 0x400100
+        misses = 0
+        for step in range(120):
+            taken = step % 2 == 0
+            prediction = predictor.predict_and_update(pc, taken)
+            if step > 40 and prediction != taken:
+                misses += 1
+        assert misses == 0
+
+    def test_unconditional_does_not_touch_local_history(self):
+        predictor = PAsPredictor(
+            history_table_bits=6, history_bits=4, index_bits=10
+        )
+        predictor.notify_outcome(0x400100, True)
+        predictor.notify_unconditional(0x400100, True)
+        assert predictor.histories.read(0x400100) == 0b1
+
+    def test_storage_counts_both_levels(self):
+        predictor = PAsPredictor(
+            history_table_bits=6, history_bits=4, index_bits=10
+        )
+        assert predictor.storage_bits == 64 * 4 + 1024 * 2
+
+    def test_reset(self):
+        predictor = PAsPredictor(
+            history_table_bits=6, history_bits=4, index_bits=10
+        )
+        predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.histories.read(0x400100) == 0
+
+
+class TestSkewedPAs:
+    def test_learns_local_pattern(self):
+        predictor = SkewedPAsPredictor(
+            history_table_bits=6, history_bits=4, bank_index_bits=8
+        )
+        pc = 0x400100
+        misses = 0
+        for step in range(120):
+            taken = step % 2 == 0
+            prediction = predictor.predict_and_update(pc, taken)
+            if step > 40 and prediction != taken:
+                misses += 1
+        assert misses == 0
+
+    def test_storage(self):
+        predictor = SkewedPAsPredictor(
+            history_table_bits=6, history_bits=4, bank_index_bits=8
+        )
+        assert predictor.storage_bits == 64 * 4 + 3 * 256 * 2
+
+    def test_competitive_with_pas_at_less_storage(self, small_trace):
+        pas = PAsPredictor(
+            history_table_bits=7, history_bits=5, index_bits=9
+        )
+        skewed = SkewedPAsPredictor(
+            history_table_bits=7, history_bits=5, bank_index_bits=7
+        )
+        assert skewed.storage_bits < pas.storage_bits
+        pas_result = simulate(pas, small_trace)
+        skewed_result = simulate(skewed, small_trace)
+        # Skewing should at least not hurt much at 0.75x storage.
+        assert (
+            skewed_result.misprediction_ratio
+            <= pas_result.misprediction_ratio * 1.15
+        )
+
+    def test_reset(self):
+        predictor = SkewedPAsPredictor(
+            history_table_bits=6, history_bits=4, bank_index_bits=8
+        )
+        predictor.predict_and_update(0x400100, False)
+        predictor.reset()
+        assert predictor.histories.read(0x400100) == 0
+        assert predictor.predict(0x400100) is True

@@ -1,0 +1,93 @@
+"""Tests for the ideal unaliased (infinite-table) predictor."""
+
+from repro.predictors.unaliased import UnaliasedPredictor
+from repro.sim.engine import simulate
+
+
+class TestFirstEncounterAccounting:
+    def test_first_encounter_not_scored(self):
+        predictor = UnaliasedPredictor(history_bits=4)
+        # First encounter returns the actual outcome -> never a miss.
+        assert predictor.predict_and_update(0x400100, False) is False
+        assert predictor.first_encounters == 1
+        assert predictor.dynamic_branches == 1
+
+    def test_second_encounter_scored(self):
+        predictor = UnaliasedPredictor(history_bits=0)
+        predictor.predict_and_update(0x400100, True)  # allocates weak-taken
+        assert predictor.predict_and_update(0x400100, True) is True
+        assert predictor.first_encounters == 1
+
+    def test_compulsory_ratio(self):
+        predictor = UnaliasedPredictor(history_bits=0)
+        for pc in (0x100, 0x104, 0x100, 0x104, 0x100):
+            predictor.predict_and_update(pc, True)
+        assert predictor.compulsory_aliasing_ratio == 2 / 5
+
+
+class TestSubstreamStats:
+    def test_substream_counting(self):
+        predictor = UnaliasedPredictor(history_bits=2)
+        # Same address under different histories = different substreams.
+        predictor.history.reset(0b00)
+        predictor.train(0x400100, True)
+        predictor.history.reset(0b01)
+        predictor.train(0x400100, True)
+        predictor.history.reset(0b01)
+        predictor.train(0x400104, True)
+        assert predictor.substream_count == 3
+
+    def test_substream_ratio(self):
+        predictor = UnaliasedPredictor(history_bits=2)
+        for history in (0b00, 0b01, 0b10):
+            predictor.history.reset(history)
+            predictor.predict_and_update(0x400100, True)
+        assert predictor.static_branch_count == 1
+        assert predictor.substream_ratio == 3.0
+
+
+class TestIdealness:
+    def test_no_aliasing_between_addresses(self):
+        """Unlike finite tables, far-apart addresses never interfere."""
+        predictor = UnaliasedPredictor(history_bits=0)
+        for __ in range(6):
+            predictor.predict_and_update(0x400100, False)
+            predictor.predict_and_update(0x99400100, True)
+        assert predictor.predict(0x400100) is False
+        assert predictor.predict(0x99400100) is True
+
+    def test_perfect_on_deterministic_pattern_with_enough_history(self):
+        """A TTN loop pattern is fully predictable once history >= 2."""
+        predictor = UnaliasedPredictor(history_bits=4)
+        pattern = [True, True, False] * 40
+        misses = 0
+        seen = 0
+        for taken in pattern:
+            prediction = predictor.predict_and_update(0x400100, taken)
+            seen += 1
+            if seen > 30 and prediction != taken:  # after warm-up
+                misses += 1
+        assert misses == 0
+
+    def test_beats_finite_tables(self, tiny_trace):
+        from repro.predictors.gshare import GsharePredictor
+
+        ideal = simulate(UnaliasedPredictor(4), tiny_trace)
+        finite = simulate(GsharePredictor(5, 4), tiny_trace)
+        assert ideal.misprediction_ratio <= finite.misprediction_ratio
+
+    def test_one_bit_worse_than_two_bit(self, tiny_trace):
+        one = simulate(UnaliasedPredictor(4, counter_bits=1), tiny_trace)
+        two = simulate(UnaliasedPredictor(4, counter_bits=2), tiny_trace)
+        assert two.misprediction_ratio <= one.misprediction_ratio
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        predictor = UnaliasedPredictor(history_bits=4)
+        predictor.predict_and_update(0x400100, True)
+        predictor.reset()
+        assert predictor.substream_count == 0
+        assert predictor.first_encounters == 0
+        assert predictor.dynamic_branches == 0
+        assert predictor.history.value == 0

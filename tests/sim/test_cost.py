@@ -1,0 +1,80 @@
+"""Tests for the pipeline cost model."""
+
+import pytest
+
+from repro.sim.cost import CostEstimate, PipelineModel, speedup
+from repro.sim.metrics import SimulationResult
+
+
+def _result(ratio, name="p"):
+    branches = 10_000
+    return SimulationResult(
+        predictor=name,
+        trace="t",
+        conditional_branches=branches,
+        mispredictions=int(ratio * branches),
+        storage_bits=1024,
+    )
+
+
+class TestPipelineModel:
+    def test_perfect_prediction_is_base_cpi(self):
+        model = PipelineModel(base_cpi=0.5)
+        assert model.cpi(0.0) == pytest.approx(0.5)
+        assert model.ipc(0.0) == pytest.approx(2.0)
+
+    def test_cpi_linear_in_misprediction(self):
+        model = PipelineModel(
+            base_cpi=0.5, misprediction_penalty=10.0, branch_frequency=0.2
+        )
+        assert model.cpi(0.05) == pytest.approx(0.5 + 0.2 * 0.05 * 10.0)
+        # Doubling the ratio doubles the branch term.
+        assert model.cpi(0.10) - 0.5 == pytest.approx(
+            2 * (model.cpi(0.05) - 0.5)
+        )
+
+    def test_estimate_fields(self):
+        model = PipelineModel()
+        estimate = model.estimate(_result(0.05))
+        assert isinstance(estimate, CostEstimate)
+        assert estimate.misprediction_ratio == pytest.approx(0.05)
+        assert estimate.cpi == pytest.approx(model.cpi(0.05))
+        assert 0.0 < estimate.branch_penalty_share < 1.0
+        assert "IPC" in str(estimate)
+
+    def test_zero_penalty_machine_is_insensitive(self):
+        model = PipelineModel(misprediction_penalty=0.0)
+        assert model.cpi(0.0) == model.cpi(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(base_cpi=0.0)
+        with pytest.raises(ValueError):
+            PipelineModel(misprediction_penalty=-1)
+        with pytest.raises(ValueError):
+            PipelineModel(branch_frequency=0.0)
+        with pytest.raises(ValueError):
+            PipelineModel().cpi(1.5)
+
+
+class TestSpeedup:
+    def test_better_predictor_faster(self):
+        assert speedup(_result(0.04), _result(0.06)) > 1.0
+
+    def test_equal_rates_no_speedup(self):
+        assert speedup(_result(0.05), _result(0.05)) == pytest.approx(1.0)
+
+    def test_deeper_pipeline_amplifies(self):
+        shallow = PipelineModel(misprediction_penalty=5.0)
+        deep = PipelineModel(misprediction_penalty=25.0)
+        better, baseline = _result(0.04), _result(0.06)
+        assert speedup(better, baseline, deep) > speedup(
+            better, baseline, shallow
+        )
+
+    def test_magnitude_plausible(self):
+        """A 2% absolute misprediction gap on a 12-cycle machine is a
+        few percent of end performance — the stakes the paper opens
+        with."""
+        gain = speedup(_result(0.04), _result(0.06))
+        assert 1.01 < gain < 1.15

@@ -1,0 +1,76 @@
+"""Tests for per-branch misprediction profiling."""
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.static import AlwaysTakenPredictor
+from repro.sim.engine import simulate
+from repro.sim.profile import profile_mispredictions
+from repro.traces.trace import BranchRecord, Trace
+
+
+def _trace():
+    records = []
+    # 0x100: always taken (never missed by always-taken).
+    # 0x104: always not-taken (always missed by always-taken).
+    for __ in range(20):
+        records.append(BranchRecord(pc=0x100, taken=True))
+        records.append(BranchRecord(pc=0x104, taken=False))
+    return Trace.from_records(records, name="profiled")
+
+
+class TestProfile:
+    def test_attribution(self):
+        result = profile_mispredictions(AlwaysTakenPredictor(), _trace())
+        assert result.total_branches == 40
+        assert result.total_mispredictions == 20
+        top = result.profiles[0]
+        assert top.pc == 0x104
+        assert top.mispredictions == 20
+        assert top.miss_rate == 1.0
+        assert top.taken_ratio == 0.0
+
+    def test_sorted_by_misses(self):
+        result = profile_mispredictions(AlwaysTakenPredictor(), _trace())
+        misses = [p.mispredictions for p in result.profiles]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_concentration(self):
+        result = profile_mispredictions(AlwaysTakenPredictor(), _trace())
+        assert result.concentration(1) == 1.0  # one branch owns all misses
+        assert result.concentration(0) == 0.0
+
+    def test_totals_match_engine(self, small_trace):
+        profiled = profile_mispredictions(BimodalPredictor(8), small_trace)
+        direct = simulate(BimodalPredictor(8), small_trace)
+        assert profiled.total_branches == direct.conditional_branches
+        assert profiled.total_mispredictions == direct.mispredictions
+        assert profiled.misprediction_ratio == pytest.approx(
+            direct.misprediction_ratio
+        )
+        assert (
+            sum(p.mispredictions for p in profiled.profiles)
+            == direct.mispredictions
+        )
+
+    def test_every_static_branch_profiled(self, tiny_trace):
+        result = profile_mispredictions(BimodalPredictor(8), tiny_trace)
+        assert len(result.profiles) == tiny_trace.static_conditional_count
+
+    def test_empty_trace(self):
+        empty = Trace.from_columns([], [], [])
+        result = profile_mispredictions(AlwaysTakenPredictor(), empty)
+        assert result.misprediction_ratio == 0.0
+        assert result.profiles == []
+
+    def test_cli_profile(self, tmp_path, capsys):
+        from repro.traces.cli import main
+        from repro.traces.io import save_trace
+
+        path = tmp_path / "p.npz"
+        save_trace(_trace(), path)
+        capsys.readouterr()
+        assert main(["profile", str(path), "taken", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0x104" in out
+        assert "mispredictions" in out

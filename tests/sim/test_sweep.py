@@ -1,0 +1,80 @@
+"""Tests for sweep plumbing."""
+
+import pytest
+
+from repro.sim.sweep import SweepResult, history_sweep, size_sweep, sweep_specs
+
+
+class TestSweepSpecs:
+    def test_grid_shape(self, tiny_trace):
+        result = sweep_specs(
+            [tiny_trace],
+            series={
+                "gshare": ["gshare:64:h2", "gshare:256:h2"],
+                "bimodal": ["bimodal:64", "bimodal:256"],
+            },
+            points=[64, 256],
+        )
+        assert result.points == [64, 256]
+        assert set(result.series) == {"gshare", "bimodal"}
+        ratios = result.ratios("gshare", tiny_trace.name)
+        assert len(ratios) == 2
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+    def test_mismatched_lengths_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            sweep_specs(
+                [tiny_trace],
+                series={"gshare": ["gshare:64:h2"]},
+                points=[64, 256],
+            )
+
+    def test_trace_names(self, tiny_trace):
+        result = sweep_specs(
+            [tiny_trace],
+            series={"bimodal": ["bimodal:64"]},
+            points=[64],
+        )
+        assert result.trace_names() == [tiny_trace.name]
+
+
+class TestConvenienceSweeps:
+    def test_size_sweep(self, tiny_trace):
+        result = size_sweep(
+            [tiny_trace],
+            sizes=[64, 256],
+            history_bits=2,
+            schemes={
+                "gshare": lambda n: f"gshare:{n}:h2",
+            },
+        )
+        ratios = result.ratios("gshare", tiny_trace.name)
+        # Bigger tables should not be much worse.
+        assert ratios[1] <= ratios[0] + 0.02
+
+    def test_history_sweep(self, tiny_trace):
+        result = history_sweep(
+            [tiny_trace],
+            history_lengths=[0, 2, 4],
+            schemes={"gshare": lambda h: f"gshare:256:h{h}"},
+        )
+        assert result.points == [0, 2, 4]
+        assert len(result.ratios("gshare", tiny_trace.name)) == 3
+
+
+class TestSweepResult:
+    def test_add_and_ratios(self):
+        from repro.sim.metrics import SimulationResult
+
+        result = SweepResult(points=[1])
+        result.add(
+            "s",
+            SimulationResult(
+                predictor="p",
+                trace="t",
+                conditional_branches=10,
+                mispredictions=3,
+                storage_bits=64,
+            ),
+        )
+        assert result.ratios("s", "t") == [0.3]

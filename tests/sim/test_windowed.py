@@ -1,0 +1,88 @@
+"""Tests for windowed misprediction measurement."""
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.static import AlwaysTakenPredictor
+from repro.sim.engine import simulate
+from repro.sim.windowed import windowed_misprediction
+from repro.traces.trace import BranchRecord, Trace
+
+
+def _trace(outcomes):
+    return Trace.from_records(
+        [BranchRecord(pc=0x100, taken=t) for t in outcomes]
+    )
+
+
+class TestWindowing:
+    def test_window_boundaries(self):
+        trace = _trace([True] * 5 + [False] * 5)
+        result = windowed_misprediction(
+            AlwaysTakenPredictor(), trace, window=5
+        )
+        assert result.misses == [0, 5]
+        assert result.branches == [5, 5]
+        assert result.ratios == [0.0, 1.0]
+
+    def test_partial_final_window(self):
+        trace = _trace([False] * 7)
+        result = windowed_misprediction(
+            AlwaysTakenPredictor(), trace, window=5
+        )
+        assert result.branches == [5, 2]
+        assert result.misses == [5, 2]
+
+    def test_overall_matches_engine(self, small_trace):
+        windowed = windowed_misprediction(
+            BimodalPredictor(8), small_trace, window=1000
+        )
+        direct = simulate(BimodalPredictor(8), small_trace)
+        assert windowed.overall == pytest.approx(
+            direct.misprediction_ratio
+        )
+        assert sum(windowed.branches) == direct.conditional_branches
+
+    def test_unconditionals_not_counted(self):
+        records = [
+            BranchRecord(pc=0x100, taken=True, conditional=False)
+        ] * 10 + [BranchRecord(pc=0x104, taken=True)]
+        result = windowed_misprediction(
+            AlwaysTakenPredictor(), Trace.from_records(records), window=5
+        )
+        assert sum(result.branches) == 1
+
+    def test_empty_trace(self):
+        result = windowed_misprediction(
+            AlwaysTakenPredictor(), _trace([]), window=5
+        )
+        assert result.ratios == []
+        assert result.overall == 0.0
+        assert result.steady_state() == 0.0
+        assert result.cold_start() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windowed_misprediction(AlwaysTakenPredictor(), _trace([]), window=0)
+
+
+class TestPhases:
+    def test_cold_start_higher_for_learning_predictor(self):
+        """A bimodal table learning a steady all-not-taken branch set
+        mispredicts early, then not at all."""
+        outcomes = [False] * 4000
+        result = windowed_misprediction(
+            BimodalPredictor(4), _trace(outcomes), window=200
+        )
+        assert result.cold_start() >= result.steady_state()
+        assert result.warmup_penalty >= 0.0
+
+    def test_real_trace_warmup_visible(self, small_trace):
+        result = windowed_misprediction(
+            BimodalPredictor(8), small_trace, window=1000
+        )
+        # Not asserting the sign (phases can dominate), but the pieces
+        # must be consistent with each other.
+        assert result.warmup_penalty == pytest.approx(
+            result.cold_start() - result.steady_state()
+        )

@@ -1,0 +1,140 @@
+"""Tests for the structured program model and executor."""
+
+from repro.traces.synthetic.behavior import BehaviorMix
+from repro.traces.synthetic.cfg import (
+    BranchNode,
+    LoopNode,
+    ProgramConfig,
+    ProgramExecutor,
+    build_program,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        static_branches=120,
+        procedures=10,
+        base_address=0x0040_0000,
+        mix=BehaviorMix(),
+        name="prog",
+    )
+    defaults.update(overrides)
+    return ProgramConfig(**defaults)
+
+
+class TestBuilder:
+    def test_deterministic(self):
+        a = build_program(_config(), seed=5)
+        b = build_program(_config(), seed=5)
+        assert a.static_branch_count == b.static_branch_count
+        assert [p.base_address for p in a.procedures] == [
+            p.base_address for p in b.procedures
+        ]
+
+    def test_seed_changes_program(self):
+        a = build_program(_config(), seed=5)
+        b = build_program(_config(), seed=6)
+        assert [p.base_address for p in a.procedures] != [
+            p.base_address for p in b.procedures
+        ]
+
+    def test_static_branch_count_near_target(self):
+        program = build_program(_config(static_branches=200), seed=1)
+        # The cost cap may leave some budget unused, but the program must
+        # be in the right ballpark.
+        assert 60 <= program.static_branch_count <= 260
+
+    def test_main_is_first_procedure(self):
+        program = build_program(_config(), seed=2)
+        assert program.main is program.procedures[0]
+        assert program.main.name.endswith(".main")
+
+    def test_addresses_word_aligned_and_in_segment(self):
+        base = 0x0100_0000
+        program = build_program(_config(base_address=base), seed=3)
+        for procedure in program.procedures:
+            assert procedure.base_address % 4 == 0
+            assert procedure.base_address >= base
+            stack = list(procedure.body)
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BranchNode):
+                    assert node.pc % 4 == 0
+                    stack.extend(node.then_body)
+                    stack.extend(node.else_body)
+                elif isinstance(node, LoopNode):
+                    assert node.pc % 4 == 0
+                    stack.extend(node.body)
+
+    def test_unique_branch_pcs(self):
+        program = build_program(_config(), seed=4)
+        pcs = []
+        for procedure in program.procedures:
+            stack = list(procedure.body)
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BranchNode):
+                    pcs.append(node.pc)
+                    stack.extend(node.then_body)
+                    stack.extend(node.else_body)
+                elif isinstance(node, LoopNode):
+                    pcs.append(node.pc)
+                    stack.extend(node.body)
+        assert len(pcs) == len(set(pcs))
+
+    def test_expected_cost_positive_and_bounded(self):
+        program = build_program(_config(), seed=7)
+        for procedure in program.procedures[1:]:  # main excluded
+            assert 0 < procedure.expected_cost < 5_000
+
+
+class TestExecutor:
+    def test_deterministic_stream(self):
+        program = build_program(_config(), seed=8)
+        a = ProgramExecutor(program, seed=1).take(2000)
+        b = ProgramExecutor(program, seed=1).take(2000)
+        assert a == b
+
+    def test_executor_seed_changes_stream(self):
+        program = build_program(_config(), seed=8)
+        a = ProgramExecutor(program, seed=1).take(2000)
+        b = ProgramExecutor(program, seed=2).take(2000)
+        assert a != b
+
+    def test_events_well_formed(self):
+        program = build_program(_config(), seed=9)
+        events = ProgramExecutor(program, seed=3).take(3000)
+        assert len(events) == 3000
+        for pc, taken, conditional, target in events:
+            assert pc % 4 == 0
+            assert isinstance(taken, bool)
+            assert isinstance(conditional, bool)
+            assert target >= 0
+
+    def test_mixes_conditional_and_unconditional(self):
+        program = build_program(_config(), seed=10)
+        events = ProgramExecutor(program, seed=4).take(3000)
+        conditionals = sum(1 for e in events if e[2])
+        assert 0.3 < conditionals / len(events) < 0.95
+
+    def test_main_iterations_complete(self):
+        """Cost bounding must keep one main iteration well under a
+        typical per-process trace share."""
+        program = build_program(_config(), seed=11)
+        events = ProgramExecutor(program, seed=5).take(60_000)
+        returns = sum(
+            1 for e in events if e[0] == program.main.return_pc
+        )
+        assert returns >= 2
+
+    def test_covers_most_static_branches(self):
+        program = build_program(_config(), seed=12)
+        events = ProgramExecutor(program, seed=6).take(60_000)
+        executed = {e[0] for e in events if e[2]}
+        assert len(executed) >= program.static_branch_count * 0.4
+
+    def test_infinite_stream(self):
+        program = build_program(_config(static_branches=20, procedures=3), seed=13)
+        executor = ProgramExecutor(program, seed=7)
+        # Far more events than one main iteration: must not exhaust.
+        assert len(executor.take(30_000)) == 30_000

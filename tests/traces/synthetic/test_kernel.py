@@ -1,0 +1,116 @@
+"""Tests for the multi-process/OS interleaving scheduler."""
+
+import pytest
+
+from repro.traces.synthetic.behavior import BehaviorMix
+from repro.traces.synthetic.cfg import ProgramConfig, ProgramExecutor, build_program
+from repro.traces.synthetic.kernel import SchedulerConfig, interleave
+
+
+def _executor(base, seed):
+    config = ProgramConfig(
+        static_branches=60,
+        procedures=6,
+        base_address=base,
+        mix=BehaviorMix(),
+        name=f"p{base:#x}",
+    )
+    return ProgramExecutor(build_program(config, seed=seed), seed=seed + 1)
+
+
+KERNEL_BASE = 0x8000_0000
+
+
+class TestInterleave:
+    def test_exact_length(self):
+        events = interleave(
+            [_executor(0x400000, 1)],
+            _executor(KERNEL_BASE, 9),
+            length=5000,
+            config=SchedulerConfig(),
+            seed=3,
+        )
+        assert len(events) == 5000
+
+    def test_zero_length(self):
+        events = interleave(
+            [_executor(0x400000, 1)],
+            None,
+            length=0,
+            config=SchedulerConfig(kernel_share=0.0),
+            seed=3,
+        )
+        assert events == []
+
+    def test_deterministic(self):
+        def run():
+            return interleave(
+                [_executor(0x400000, 1), _executor(0x1400000, 2)],
+                _executor(KERNEL_BASE, 9),
+                length=4000,
+                config=SchedulerConfig(mean_quantum=300),
+                seed=3,
+            )
+
+        assert run() == run()
+
+    def test_all_processes_scheduled(self):
+        events = interleave(
+            [_executor(0x400000, 1), _executor(0x1400000, 2)],
+            None,
+            length=8000,
+            config=SchedulerConfig(mean_quantum=500, kernel_share=0.0),
+            seed=4,
+        )
+        segments = {pc & 0xFF00_0000 for pc, *_ in events}
+        assert 0x0040_0000 & 0xFF00_0000 in segments or 0x0 in segments
+        assert 0x0100_0000 in segments
+
+    def test_kernel_share_approximate(self):
+        share = 0.25
+        events = interleave(
+            [_executor(0x400000, 1)],
+            _executor(KERNEL_BASE, 9),
+            length=30_000,
+            config=SchedulerConfig(
+                mean_quantum=600, kernel_share=share, mean_kernel_burst=150
+            ),
+            seed=5,
+        )
+        kernel_events = sum(1 for pc, *_ in events if pc >= KERNEL_BASE)
+        observed = kernel_events / len(events)
+        assert 0.4 * share < observed < 2.0 * share
+
+    def test_no_kernel_when_disabled(self):
+        events = interleave(
+            [_executor(0x400000, 1)],
+            _executor(KERNEL_BASE, 9),
+            length=5000,
+            config=SchedulerConfig(kernel_share=0.0),
+            seed=6,
+        )
+        assert all(pc < KERNEL_BASE for pc, *_ in events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave([], None, 100, SchedulerConfig(), seed=1)
+        with pytest.raises(ValueError):
+            interleave(
+                [_executor(0x400000, 1)], None, -1, SchedulerConfig(), seed=1
+            )
+
+    def test_context_switches_interleave_quanta(self):
+        """With two processes and short quanta, segments must alternate
+        many times (the aliasing-pressure mechanism)."""
+        events = interleave(
+            [_executor(0x400000, 1), _executor(0x1400000, 2)],
+            None,
+            length=10_000,
+            config=SchedulerConfig(mean_quantum=200, kernel_share=0.0),
+            seed=7,
+        )
+        segment = [pc >> 24 for pc, *_ in events]
+        switches = sum(
+            1 for a, b in zip(segment, segment[1:]) if a != b
+        )
+        assert switches >= 10

@@ -1,0 +1,100 @@
+"""Tests for the trace-quality profile and IBS-shape validation."""
+
+import pytest
+
+from repro.traces.synthetic.validation import (
+    profile_trace,
+    validate_ibs_shape,
+)
+from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
+from repro.traces.trace import BranchRecord, Trace
+
+
+class TestProfileTrace:
+    def test_counts(self, small_trace):
+        profile = profile_trace(small_trace)
+        assert profile.events == len(small_trace)
+        assert profile.conditional == small_trace.conditional_count
+        assert profile.static == small_trace.static_conditional_count
+        assert profile.taken_ratio == pytest.approx(
+            small_trace.taken_ratio
+        )
+
+    def test_bias_fractions(self):
+        records = []
+        # One always-taken branch, one alternating branch, 20 execs each.
+        for step in range(20):
+            records.append(BranchRecord(pc=0x100, taken=True))
+            records.append(BranchRecord(pc=0x104, taken=step % 2 == 0))
+        profile = profile_trace(Trace.from_records(records))
+        assert profile.strongly_biased_fraction == pytest.approx(0.5)
+        assert profile.near_random_fraction == pytest.approx(0.5)
+
+    def test_run_lengths(self):
+        # TTTN repeating: taken runs of 3, not-taken runs of 1.
+        records = [
+            BranchRecord(pc=0x100, taken=(step % 4 != 3))
+            for step in range(40)
+        ]
+        profile = profile_trace(Trace.from_records(records))
+        assert profile.mean_taken_run == pytest.approx(3.0)
+        assert profile.mean_not_taken_run == pytest.approx(1.0)
+
+    def test_segments_and_interleaving(self):
+        records = [
+            BranchRecord(pc=0x0040_0000, taken=True),
+            BranchRecord(pc=0x8000_0000, taken=True),
+            BranchRecord(pc=0x0040_0004, taken=True),
+            BranchRecord(pc=0x0040_0008, taken=True),
+        ]
+        profile = profile_trace(Trace.from_records(records))
+        assert profile.segments == 2
+        assert profile.interleave_rate == pytest.approx(2 / 4 * 1000)
+
+    def test_distance_buckets_cover_all_references(self, tiny_trace):
+        profile = profile_trace(tiny_trace)
+        assert (
+            sum(profile.distance_buckets) + profile.first_encounters
+            == tiny_trace.conditional_count
+        )
+
+    def test_median_bucket(self, small_trace):
+        profile = profile_trace(small_trace)
+        assert 0 <= profile.median_distance_bucket < len(
+            profile.distance_buckets
+        )
+
+
+class TestValidateIbsShape:
+    @pytest.mark.parametrize("bench_name", IBS_BENCHMARKS)
+    def test_all_shipped_workloads_pass(self, bench_name):
+        """The acceptance box that makes the DESIGN.md substitution
+        claim checkable: every clone must look like a multi-process OS
+        workload."""
+        profile = profile_trace(ibs_trace(bench_name, scale=0.3))
+        assert validate_ibs_shape(profile) == []
+
+    def test_degenerate_trace_fails(self):
+        records = [BranchRecord(pc=0x100, taken=True)] * 50
+        profile = profile_trace(Trace.from_records(records))
+        problems = validate_ibs_shape(profile)
+        assert problems  # single segment, no switching, too short
+        assert any("segment" in p for p in problems)
+
+    def test_random_trace_fails_bias_check(self):
+        import random
+
+        rng = random.Random(1)
+        records = [
+            BranchRecord(
+                pc=0x400000 + (rng.randrange(64) << 2) | (
+                    0x0100_0000 if rng.random() < 0.5 else 0
+                ),
+                taken=rng.random() < 0.5,
+            )
+            for __ in range(3000)
+        ]
+        profile = profile_trace(Trace.from_records(records))
+        problems = validate_ibs_shape(profile)
+        assert any("strongly biased" in p or "near-random" in p
+                   for p in problems)

@@ -1,0 +1,75 @@
+"""Tests for the repro-trace command-line tool."""
+
+import pytest
+
+from repro.traces.cli import main
+
+
+@pytest.fixture()
+def generated(tmp_path):
+    path = tmp_path / "verilog.npz"
+    assert main(["generate", "verilog", str(path), "--scale", "0.05"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_trace(self, generated, capsys):
+        assert generated.exists()
+
+    def test_unknown_benchmark(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "doom", str(tmp_path / "x.npz")])
+
+
+class TestInfo:
+    def test_prints_statistics(self, generated, capsys):
+        capsys.readouterr()
+        assert main(["info", str(generated)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic" in out
+        assert "h=4" in out
+        assert "h=12" in out
+
+    def test_custom_history(self, generated, capsys):
+        capsys.readouterr()
+        assert main(["info", str(generated), "--history", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "h=6" in out
+        assert "h=12" not in out
+
+
+class TestConvert:
+    def test_npz_to_text_roundtrip(self, generated, tmp_path, capsys):
+        text_path = tmp_path / "trace.txt"
+        assert main(["convert", str(generated), str(text_path)]) == 0
+        back_path = tmp_path / "back.npz"
+        assert main(["convert", str(text_path), str(back_path)]) == 0
+
+        from repro.traces.io import load_trace
+
+        import numpy as np
+
+        original = load_trace(generated)
+        back = load_trace(back_path)
+        assert np.array_equal(original.pcs, back.pcs)
+        assert np.array_equal(original.takens, back.takens)
+
+
+class TestSimulate:
+    def test_runs_specs(self, generated, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(generated),
+                    "bimodal:256",
+                    "gskew:3x128:h4:partial",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bimodal:256" in out
+        assert "gskew:3x128:h4:partial" in out
+        assert "%" in out

@@ -1,0 +1,60 @@
+"""Workload calibration helper (development tool, not part of the library).
+
+Prints, for each IBS clone, the quantities the paper's Tables 1 and 2
+report, next to the scaled paper targets, so the workload parameters in
+``repro/traces/synthetic/workloads.py`` can be tuned by iteration.
+
+Run:  python tools/calibrate_workloads.py [bench ...]
+"""
+
+import sys
+
+from repro.sim import make_predictor, simulate
+from repro.traces.stats import substream_stats
+from repro.traces.synthetic.workloads import (
+    IBS_BENCHMARKS,
+    clear_trace_cache,
+    ibs_trace,
+)
+
+# Paper values: (dynamic/1000 scaled /64, static /8,
+#                r4, r12, u4 1b, u4 2b, u12 1b, u12 2b) in percent.
+PAPER = {
+    "groff": (90_500, 704, 1.82, 7.14, 5.47, 3.77, 3.63, 2.56),
+    "gs": (111_500, 1367, 1.91, 7.95, 7.03, 5.28, 3.71, 2.77),
+    "mpeg_play": (63_500, 594, 1.83, 6.27, 9.08, 7.24, 5.85, 4.52),
+    "nroff": (167_000, 560, 1.79, 5.71, 4.99, 3.72, 3.04, 2.20),
+    "real_gcc": (109_000, 2090, 2.36, 12.90, 9.38, 7.16, 4.90, 3.93),
+    "verilog": (44_500, 490, 1.96, 9.24, 6.48, 4.57, 3.74, 2.66),
+}
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(IBS_BENCHMARKS)
+    clear_trace_cache()
+    for name in names:
+        trace = ibs_trace(name)
+        s4 = substream_stats(trace, 4)
+        s12 = substream_stats(trace, 12)
+        u4_1 = simulate(make_predictor("unaliased:h4:c1"), trace)
+        u4_2 = simulate(make_predictor("unaliased:h4"), trace)
+        u12_1 = simulate(make_predictor("unaliased:h12:c1"), trace)
+        u12_2 = simulate(make_predictor("unaliased:h12"), trace)
+        dyn_t, static_t, r4_t, r12_t, a, b, c, d = PAPER[name]
+        print(
+            f"{name:10s} dyn={trace.conditional_count:7d}/{dyn_t:7d} "
+            f"static={trace.static_conditional_count:5d}/{static_t:5d} "
+            f"r4={s4.substream_ratio:5.2f}/{r4_t:4.2f} "
+            f"r12={s12.substream_ratio:6.2f}/{r12_t:5.2f}"
+        )
+        print(
+            f"{'':10s} u4: {u4_1.misprediction_ratio*100:5.2f}/{a:5.2f} (1b) "
+            f"{u4_2.misprediction_ratio*100:5.2f}/{b:5.2f} (2b)   "
+            f"u12: {u12_1.misprediction_ratio*100:5.2f}/{c:5.2f} (1b) "
+            f"{u12_2.misprediction_ratio*100:5.2f}/{d:5.2f} (2b)  "
+            f"comp12={s12.compulsory_ratio*100:.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Run every experiment at full default scale and save the reports.
+
+Development tool backing EXPERIMENTS.md: writes one report per
+experiment under benchmarks/results/full/ and a combined log.
+
+Run:  python tools/run_full_experiments.py [--scale 1.0]
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("names", nargs="*", default=[])
+    args = parser.parse_args()
+
+    OUT.mkdir(parents=True, exist_ok=True)
+    names = args.names or list(EXPERIMENTS)
+    for name in names:
+        started = time.time()
+        report = run_experiment(name, scale=args.scale)
+        elapsed = time.time() - started
+        (OUT / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+        print(f"{name}: {elapsed:.1f}s -> {OUT / (name + '.txt')}")
+
+
+if __name__ == "__main__":
+    main()
