@@ -5,6 +5,10 @@ instruments — useful when deciding how large a trace a study can afford,
 and as a regression guard on the fused fast paths.
 """
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 from conftest import BENCH_SCALE
 
@@ -12,7 +16,10 @@ from repro.aliasing.distance import LastUseDistanceTracker
 from repro.core.skew import skew_f0, skew_f1, skew_f2
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
+from repro.sim.vectorized import simulate_vectorized
 from repro.traces.synthetic.workloads import ibs_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SPECS = [
     "bimodal:4k",
@@ -44,6 +51,54 @@ def test_predictor_throughput(benchmark, trace, spec):
 
     result = benchmark(run)
     assert result.conditional_branches == trace.conditional_count
+
+
+VECTORIZED_SPECS = [
+    "gshare:4k:h8",
+    "gskew:3x1k:h8:partial",
+    "egskew:3x1k:h8:partial",
+]
+
+
+@pytest.mark.parametrize("spec", VECTORIZED_SPECS)
+def test_vectorized_engine_throughput(benchmark, trace, spec):
+    """Branches/second on the index-precompute engine (compare against
+    the same specs under ``test_predictor_throughput``)."""
+
+    def run():
+        return simulate_vectorized(make_predictor(spec), trace, label=spec)
+
+    result = benchmark(run)
+    assert result.conditional_branches == trace.conditional_count
+
+
+def test_bench_engine_tool_smoke():
+    """``tools/bench_engine.py`` runs end-to-end and the engines agree
+    (exit status 1 flags a generic/vectorized mismatch)."""
+    import json
+    import os
+    import tempfile
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "BENCH_engine.json"
+        subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "bench_engine.py"),
+                "--scale", "0.05",
+                "--repeat", "1",
+                "--jobs", "1", "2",
+                "--out", str(out),
+            ],
+            env=env,
+            check=True,
+            capture_output=True,
+            timeout=600,
+        )
+        report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["sweep"]["identical"]
+    assert all(row["identical"] for row in report["engine"])
 
 
 def test_skew_function_cost(benchmark):

@@ -60,6 +60,10 @@ class SkewedPredictor(GlobalHistoryPredictor):
         if banks % 2 == 0 or banks < 1:
             raise ValueError(f"bank count must be odd and >= 1, got {banks}")
         self.update_policy = UpdatePolicy.parse(update_policy)
+        #: True when the banks use the paper's canonical skewing family —
+        #: the precondition for the vectorized engine's closed-form index
+        #: streams (custom families are opaque closures it can't replay).
+        self.default_skew_family = functions is None
         if functions is None:
             functions = skew_function_family(bank_index_bits, banks)
         elif len(functions) != banks:

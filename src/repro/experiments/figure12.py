@@ -26,8 +26,8 @@ from repro.experiments.common import (
     load_benchmarks,
 )
 from repro.experiments.report import format_series
-from repro.sim.config import format_entries, make_predictor
-from repro.sim.engine import simulate
+from repro.sim.config import format_entries
+from repro.sim.sweep import history_sweep
 
 __all__ = ["Figure12Curves", "run", "render"]
 
@@ -47,40 +47,28 @@ def run(
     history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
     bank_entries: int = 512,
     gshare_entries: int = 4096,
+    jobs: Optional[int] = None,
 ) -> Figure12Curves:
     """Run the experiment; see the module docstring for the design."""
     traces = load_benchmarks(benchmarks, scale)
     bank_token = format_entries(bank_entries)
     gshare_token = format_entries(gshare_entries)
-    curves: Dict[str, Dict[str, List[float]]] = {}
-    for trace in traces:
-        egskew_series: List[float] = []
-        gskew_series: List[float] = []
-        gshare_series: List[float] = []
-        for history in history_lengths:
-            egskew_series.append(
-                simulate(
-                    make_predictor(f"egskew:3x{bank_token}:h{history}:partial"),
-                    trace,
-                ).misprediction_ratio
-            )
-            gskew_series.append(
-                simulate(
-                    make_predictor(f"gskew:3x{bank_token}:h{history}:partial"),
-                    trace,
-                ).misprediction_ratio
-            )
-            gshare_series.append(
-                simulate(
-                    make_predictor(f"gshare:{gshare_token}:h{history}"),
-                    trace,
-                ).misprediction_ratio
-            )
-        curves[trace.name] = {
-            f"e-gskew 3x{bank_token}": egskew_series,
-            f"gskew 3x{bank_token}": gskew_series,
-            f"gshare {gshare_token}": gshare_series,
+    schemes = {
+        f"e-gskew 3x{bank_token}": (
+            lambda h: f"egskew:3x{bank_token}:h{h}:partial"
+        ),
+        f"gskew 3x{bank_token}": (
+            lambda h: f"gskew:3x{bank_token}:h{h}:partial"
+        ),
+        f"gshare {gshare_token}": lambda h: f"gshare:{gshare_token}:h{h}",
+    }
+    grid = history_sweep(traces, history_lengths, schemes=schemes, jobs=jobs)
+    curves: Dict[str, Dict[str, List[float]]] = {
+        trace.name: {
+            name: grid.ratios(name, trace.name) for name in schemes
         }
+        for trace in traces
+    }
     return Figure12Curves(
         history_lengths=list(history_lengths),
         bank_entries=bank_entries,

@@ -24,8 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import DEFAULT_SIZES, load_benchmarks
 from repro.experiments.report import format_series
-from repro.sim.config import format_entries, make_predictor
-from repro.sim.engine import simulate
+from repro.sim.config import format_entries
+from repro.sim.sweep import sweep_specs
 
 __all__ = ["SizeSweepCurves", "run", "render"]
 
@@ -54,37 +54,39 @@ def run(
     history_bits: int = HISTORY_BITS,
     update_policy: str = "partial",
     counter_bits: int = 2,
+    jobs: Optional[int] = None,
 ) -> SizeSweepCurves:
     """Sweep gshare over ``sizes`` and gskew over banks of ``sizes``/4.
 
     The bank grid is chosen so the two storage ranges overlap: banks of
     ``N/4`` put gskew points at 0.75N, interleaved with the gshare grid.
+    ``jobs`` selects sweep worker processes (see :mod:`repro.sim.parallel`).
     """
     traces = load_benchmarks(benchmarks, scale)
     gskew_banks = [max(8, size // 4) for size in sizes]
-    gshare_curves: Dict[str, List[float]] = {}
-    gskew_curves: Dict[str, List[float]] = {}
-    for trace in traces:
-        gshare_curves[trace.name] = [
-            simulate(
-                make_predictor(
-                    f"gshare:{format_entries(size)}:h{history_bits}"
-                    f":c{counter_bits}"
-                ),
-                trace,
-            ).misprediction_ratio
-            for size in sizes
-        ]
-        gskew_curves[trace.name] = [
-            simulate(
-                make_predictor(
-                    f"gskew:3x{format_entries(bank)}:h{history_bits}"
-                    f":c{counter_bits}:{update_policy}"
-                ),
-                trace,
-            ).misprediction_ratio
-            for bank in gskew_banks
-        ]
+    grid = sweep_specs(
+        traces,
+        series={
+            "gshare": [
+                f"gshare:{format_entries(size)}:h{history_bits}"
+                f":c{counter_bits}"
+                for size in sizes
+            ],
+            "gskew": [
+                f"gskew:3x{format_entries(bank)}:h{history_bits}"
+                f":c{counter_bits}:{update_policy}"
+                for bank in gskew_banks
+            ],
+        },
+        points=list(sizes),
+        jobs=jobs,
+    )
+    gshare_curves: Dict[str, List[float]] = {
+        trace.name: grid.ratios("gshare", trace.name) for trace in traces
+    }
+    gskew_curves: Dict[str, List[float]] = {
+        trace.name: grid.ratios("gskew", trace.name) for trace in traces
+    }
     return SizeSweepCurves(
         history_bits=history_bits,
         gshare_sizes=list(sizes),

@@ -27,6 +27,7 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     update_policy: str = "partial",
+    jobs: Optional[int] = None,
 ) -> figure5.SizeSweepCurves:
     """Run the experiment; see the module docstring for the design."""
     return figure5.run(
@@ -35,6 +36,7 @@ def run(
         sizes=sizes,
         history_bits=HISTORY_BITS,
         update_policy=update_policy,
+        jobs=jobs,
     )
 
 

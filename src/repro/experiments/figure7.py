@@ -18,8 +18,8 @@ from repro.experiments.common import (
     load_benchmarks,
 )
 from repro.experiments.report import format_series
-from repro.sim.config import format_entries, make_predictor
-from repro.sim.engine import simulate
+from repro.sim.config import format_entries
+from repro.sim.sweep import history_sweep
 
 __all__ = ["HistorySweepCurves", "run", "render"]
 
@@ -39,35 +39,32 @@ def run(
     history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
     gskew_bank: int = 512,
     gshare_entries: int = 2048,
+    jobs: Optional[int] = None,
 ) -> HistorySweepCurves:
     """Run the experiment; see the module docstring for the design."""
     traces = load_benchmarks(benchmarks, scale)
-    curves: Dict[str, Dict[str, List[float]]] = {}
-    for trace in traces:
-        gskew_series: List[float] = []
-        gshare_series: List[float] = []
-        for history in history_lengths:
-            gskew_series.append(
-                simulate(
-                    make_predictor(
-                        f"gskew:3x{format_entries(gskew_bank)}:h{history}"
-                        ":partial"
-                    ),
-                    trace,
-                ).misprediction_ratio
-            )
-            gshare_series.append(
-                simulate(
-                    make_predictor(
-                        f"gshare:{format_entries(gshare_entries)}:h{history}"
-                    ),
-                    trace,
-                ).misprediction_ratio
-            )
-        curves[trace.name] = {
-            f"gskew 3x{format_entries(gskew_bank)}": gskew_series,
-            f"gshare {format_entries(gshare_entries)}": gshare_series,
+    gskew_name = f"gskew 3x{format_entries(gskew_bank)}"
+    gshare_name = f"gshare {format_entries(gshare_entries)}"
+    grid = history_sweep(
+        traces,
+        history_lengths,
+        schemes={
+            gskew_name: lambda h: (
+                f"gskew:3x{format_entries(gskew_bank)}:h{h}:partial"
+            ),
+            gshare_name: lambda h: (
+                f"gshare:{format_entries(gshare_entries)}:h{h}"
+            ),
+        },
+        jobs=jobs,
+    )
+    curves: Dict[str, Dict[str, List[float]]] = {
+        trace.name: {
+            gskew_name: grid.ratios(gskew_name, trace.name),
+            gshare_name: grid.ratios(gshare_name, trace.name),
         }
+        for trace in traces
+    }
     return HistorySweepCurves(
         history_lengths=list(history_lengths),
         gskew_bank=gskew_bank,

@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import DEFAULT_BANK_SIZES, load_benchmarks
 from repro.experiments.report import format_series
-from repro.sim.config import format_entries, make_predictor
-from repro.sim.engine import simulate
+from repro.sim.config import format_entries
+from repro.sim.sweep import sweep_specs
 
 __all__ = ["Figure8Curves", "run", "render"]
 
@@ -41,39 +41,34 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     bank_sizes: Sequence[int] = DEFAULT_BANK_SIZES,
     history_bits: int = HISTORY_BITS,
+    jobs: Optional[int] = None,
 ) -> Figure8Curves:
     """Run the experiment; see the module docstring for the design."""
     traces = load_benchmarks(benchmarks, scale)
-    curves: Dict[str, Dict[str, List[float]]] = {}
-    for trace in traces:
-        partial: List[float] = []
-        total: List[float] = []
-        associative: List[float] = []
-        for bank in bank_sizes:
-            spec_size = format_entries(bank)
-            partial.append(
-                simulate(
-                    make_predictor(f"gskew:3x{spec_size}:h{history_bits}:partial"),
-                    trace,
-                ).misprediction_ratio
-            )
-            total.append(
-                simulate(
-                    make_predictor(f"gskew:3x{spec_size}:h{history_bits}:total"),
-                    trace,
-                ).misprediction_ratio
-            )
-            associative.append(
-                simulate(
-                    make_predictor(f"fa:{spec_size}:h{history_bits}"),
-                    trace,
-                ).misprediction_ratio
-            )
-        curves[trace.name] = {
-            "gskew 3xN partial": partial,
-            "gskew 3xN total": total,
-            "FA LRU N": associative,
+    series_names = ("gskew 3xN partial", "gskew 3xN total", "FA LRU N")
+    templates = (
+        "gskew:3x{size}:h{h}:partial",
+        "gskew:3x{size}:h{h}:total",
+        "fa:{size}:h{h}",
+    )
+    grid = sweep_specs(
+        traces,
+        series={
+            name: [
+                template.format(size=format_entries(bank), h=history_bits)
+                for bank in bank_sizes
+            ]
+            for name, template in zip(series_names, templates)
+        },
+        points=list(bank_sizes),
+        jobs=jobs,
+    )
+    curves: Dict[str, Dict[str, List[float]]] = {
+        trace.name: {
+            name: grid.ratios(name, trace.name) for name in series_names
         }
+        for trace in traces
+    }
     return Figure8Curves(
         history_bits=history_bits,
         bank_sizes=list(bank_sizes),

@@ -5,18 +5,23 @@ Usage (installed as ``repro-experiments``):
     repro-experiments list
     repro-experiments table1 table2
     repro-experiments figure5 --scale 0.25
+    repro-experiments figure6 figure8 --jobs 4
     repro-experiments all
 
 Each experiment prints the paper-shaped table/series for every
-benchmark.  ``--scale`` shrinks the traces for quick looks.
+benchmark.  ``--scale`` shrinks the traces for quick looks; ``--jobs``
+fans the sweep-shaped experiments out over worker processes (defaults
+to the ``REPRO_JOBS`` environment variable; experiments that don't
+sweep ignore it).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.experiments import (
     antialiasing_shootout,
@@ -88,18 +93,30 @@ EXPERIMENTS: Dict[str, Tuple[object, bool]] = {
 }
 
 
-def run_experiment(name: str, scale: float = 1.0, plot: bool = False) -> str:
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    plot: bool = False,
+    jobs: Optional[int] = None,
+) -> str:
     """Run one experiment by name and return its rendered report.
 
     With ``plot=True``, experiments that expose a ``render_plot`` (the
     curve-shaped figures) return ASCII line charts instead of tables.
+    ``jobs`` is forwarded to experiments whose ``run`` accepts it (the
+    sweep-shaped figures); others run as before.
     """
     try:
         module, takes_scale = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    result = module.run(scale=scale) if takes_scale else module.run()
+    kwargs = {}
+    if takes_scale:
+        kwargs["scale"] = scale
+    if jobs is not None and "jobs" in inspect.signature(module.run).parameters:
+        kwargs["jobs"] = jobs
+    result = module.run(**kwargs)
     if plot and hasattr(module, "render_plot"):
         return module.render_plot(result)
     return module.render(result)
@@ -137,6 +154,15 @@ def _main(argv=None) -> int:
         action="store_true",
         help="render figures as ASCII line charts where supported",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sweep-shaped experiments "
+            "(0 = one per CPU; default: $REPRO_JOBS, else serial)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.names == ["list"]:
@@ -151,7 +177,11 @@ def _main(argv=None) -> int:
             return 2
         started = time.time()
         print(f"=== {name} ===")
-        print(run_experiment(name, scale=args.scale, plot=args.plot))
+        print(
+            run_experiment(
+                name, scale=args.scale, plot=args.plot, jobs=args.jobs
+            )
+        )
         print(f"--- {name} finished in {time.time() - started:.1f}s ---\n")
     return 0
 

@@ -10,6 +10,8 @@ from repro.sim.config import format_entries, make_predictor, parse_size
 from repro.sim.cost import CostEstimate, PipelineModel, speedup
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.parallel import resolve_jobs, simulate_specs
+from repro.sim.vectorized import simulate_fast, simulate_vectorized
 from repro.sim.windowed import WindowedResult, windowed_misprediction
 from repro.sim.sweep import (
     SweepResult,
@@ -30,6 +32,10 @@ __all__ = [
     "make_predictor",
     "parse_size",
     "simulate",
+    "simulate_fast",
+    "simulate_vectorized",
+    "simulate_specs",
+    "resolve_jobs",
     "SimulationResult",
     "SweepResult",
     "history_sweep",

@@ -40,15 +40,14 @@ def simulate(
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
 
-    pcs, takens, conditionals, _ = trace.columns()
+    pcs, takens, conditionals = trace.sim_columns()
     step = predictor.predict_and_update
     shift = predictor.notify_unconditional
 
     conditional_branches = 0
     mispredictions = 0
     seen = 0
-    for pc, taken_int, conditional in zip(pcs, takens, conditionals):
-        taken = taken_int == 1
+    for pc, taken, conditional in zip(pcs, takens, conditionals):
         if conditional:
             prediction = step(pc, taken)
             seen += 1

@@ -1,0 +1,166 @@
+"""Parallel sweep execution over a multiprocessing pool.
+
+A sweep grid is embarrassingly parallel: every (predictor spec x trace)
+cell builds a fresh predictor and never shares state with its neighbours.
+This module fans the cells out over worker processes while keeping the
+result grid *byte-identical* to a serial run:
+
+- **cheap tasks** — a cell crosses the pipe as ``(trace index, spec
+  string)``; the worker builds the predictor from the spec and looks the
+  trace up locally;
+- **per-worker trace memoisation** — the pool initializer receives trace
+  *descriptors*, not arrays.  Traces produced by the workload substrate
+  are regenerated deterministically from their ``(benchmark, scale)``
+  cache key (see :func:`repro.traces.synthetic.workloads.trace_cache_key`),
+  so no multi-megabyte pickle crosses the pipe; ad-hoc traces fall back to
+  being shipped once per worker through the initializer;
+- **deterministic collection** — tasks are issued and gathered in the
+  exact nesting order the serial sweep uses, so the
+  :class:`~repro.sim.sweep.SweepResult` grids come out identical.
+
+Workers run :func:`repro.sim.vectorized.simulate_fast`, stacking the
+index-precompute speedup on top of the process-level parallelism.
+
+The worker count comes from the ``jobs`` argument threaded through the
+sweep helpers, the experiment runner, ``tools/run_full_experiments.py
+--jobs`` and the ``repro-trace`` CLI; ``jobs=None`` defers to the
+``REPRO_JOBS`` environment variable (default: serial), ``jobs=0`` means
+one worker per CPU, and ``jobs=1`` never touches multiprocessing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.config import make_predictor
+from repro.sim.metrics import SimulationResult
+from repro.sim.vectorized import simulate_fast
+from repro.traces.synthetic.workloads import ibs_trace, trace_cache_key
+from repro.traces.trace import Trace
+
+__all__ = ["resolve_jobs", "run_cells", "simulate_specs"]
+
+#: env var consulted when a ``jobs`` argument is left unset
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: trace table of the current worker process, set by the pool initializer
+_WORKER_TRACES: List[Trace] = []
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a ``jobs`` setting into a concrete worker count.
+
+    ``None`` consults ``REPRO_JOBS`` (absent/invalid -> 1, i.e. serial);
+    ``0`` or a negative count means one worker per available CPU.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _describe_traces(traces: Sequence[Trace]) -> List[Tuple]:
+    """Build the cheap per-worker descriptors (see module docstring)."""
+    descriptors: List[Tuple] = []
+    for trace in traces:
+        key = trace_cache_key(trace)
+        if key is not None:
+            descriptors.append(("ibs", key[0], key[1]))
+        else:
+            # Ship the raw numpy columns, not the Trace object: the object
+            # may carry megabytes of materialised hot-loop lists.
+            descriptors.append(
+                (
+                    "literal",
+                    (
+                        trace.pcs,
+                        trace.takens,
+                        trace.conditionals,
+                        trace.targets,
+                        trace.name,
+                        trace.seed,
+                    ),
+                )
+            )
+    return descriptors
+
+
+def _init_worker(descriptors: List[Tuple]) -> None:
+    """Pool initializer: materialise every sweep trace once per worker."""
+    _WORKER_TRACES.clear()
+    for descriptor in descriptors:
+        if descriptor[0] == "ibs":
+            _WORKER_TRACES.append(ibs_trace(descriptor[1], descriptor[2]))
+        else:
+            pcs, takens, conditionals, targets, name, seed = descriptor[1]
+            _WORKER_TRACES.append(
+                Trace(pcs, takens, conditionals, targets, name=name, seed=seed)
+            )
+
+
+def _run_cell(task: Tuple[int, str]) -> SimulationResult:
+    trace_index, spec = task
+    trace = _WORKER_TRACES[trace_index]
+    return simulate_fast(make_predictor(spec), trace, label=spec)
+
+
+def _pool_context():
+    """Fork when the platform offers it (cheap, inherits warm trace
+    caches copy-on-write); otherwise spawn."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(
+    traces: Sequence[Trace],
+    cells: Sequence[Tuple[int, str]],
+    jobs: int,
+) -> List[SimulationResult]:
+    """Simulate ``(trace index, spec)`` cells, preserving input order.
+
+    ``jobs`` must already be resolved (>= 1).  Serial execution — used for
+    ``jobs=1`` or degenerate grids — runs in-process with no pool at all,
+    so single-job callers pay zero multiprocessing overhead.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        for trace in traces:
+            # Materialise hot columns once, outside any timing loops.
+            trace.sim_columns()
+        return [
+            simulate_fast(make_predictor(spec), traces[index], label=spec)
+            for index, spec in cells
+        ]
+
+    descriptors = _describe_traces(traces)
+    chunksize = max(1, len(cells) // (jobs * 4))
+    context = _pool_context()
+    with context.Pool(
+        processes=min(jobs, len(cells)),
+        initializer=_init_worker,
+        initargs=(descriptors,),
+    ) as pool:
+        return pool.map(_run_cell, list(cells), chunksize)
+
+
+def simulate_specs(
+    trace: Trace,
+    specs: Sequence[str],
+    jobs: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run several predictor specs over one trace, optionally in parallel.
+
+    Convenience wrapper used by the ``repro-trace simulate`` command;
+    results come back aligned with ``specs``.
+    """
+    resolved = resolve_jobs(jobs)
+    return run_cells([trace], [(0, spec) for spec in specs], resolved)

@@ -5,16 +5,21 @@ and tabulates misprediction ratios.  Sweeps are expressed with spec
 templates (see :mod:`repro.sim.config`) so experiment code reads like
 the figure captions: sizes for Figures 5/6/8, history lengths for
 Figures 7/12.
+
+Cells run on the vectorized engine where one exists (generic otherwise)
+and can fan out over a process pool: every sweep helper takes ``jobs``
+(``None`` defers to the ``REPRO_JOBS`` environment variable; see
+:mod:`repro.sim.parallel`).  Grids are deterministic and identical for
+any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.config import format_entries, make_predictor
-from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.parallel import resolve_jobs, run_cells
 from repro.traces.trace import Trace
 
 __all__ = ["SweepResult", "sweep_specs", "size_sweep", "history_sweep"]
@@ -57,6 +62,7 @@ def sweep_specs(
     traces: Sequence[Trace],
     series: Dict[str, Sequence[str]],
     points: Sequence[object],
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run aligned spec lists over every trace.
 
@@ -65,6 +71,9 @@ def sweep_specs(
         series: mapping from series name to a list of predictor specs,
             one per x-axis point.
         points: x-axis values (must match each spec list's length).
+        jobs: worker processes (1 = serial, 0 = one per CPU, None = the
+            ``REPRO_JOBS`` environment variable, defaulting to serial).
+            The grid is identical for every value.
     """
     for name, specs in series.items():
         if len(specs) != len(points):
@@ -72,12 +81,19 @@ def sweep_specs(
                 f"series {name!r} has {len(specs)} specs for "
                 f"{len(points)} points"
             )
-    result = SweepResult(points=list(points))
-    for trace in traces:
+    # Cell order is the serial nesting order; run_cells preserves it, so
+    # the grid below fills identically for any worker count.
+    cells: List[Tuple[int, str]] = []
+    cell_series: List[str] = []
+    for index in range(len(traces)):
         for name, specs in series.items():
             for spec in specs:
-                predictor = make_predictor(spec)
-                result.add(name, simulate(predictor, trace, label=spec))
+                cells.append((index, spec))
+                cell_series.append(name)
+    outcomes = run_cells(traces, cells, resolve_jobs(jobs))
+    result = SweepResult(points=list(points))
+    for name, outcome in zip(cell_series, outcomes):
+        result.add(name, outcome)
     return result
 
 
@@ -86,6 +102,7 @@ def size_sweep(
     sizes: Sequence[int],
     history_bits: int,
     schemes: Dict[str, Callable[[int], str]],
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Sweep total predictor size for several schemes (Figures 5/6/8).
 
@@ -96,17 +113,18 @@ def size_sweep(
         name: [build(size) for size in sizes]
         for name, build in schemes.items()
     }
-    return sweep_specs(traces, series, points=list(sizes))
+    return sweep_specs(traces, series, points=list(sizes), jobs=jobs)
 
 
 def history_sweep(
     traces: Sequence[Trace],
     history_lengths: Iterable[int],
     schemes: Dict[str, Callable[[int], str]],
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Sweep history length at fixed sizes (Figures 7/12)."""
     lengths = list(history_lengths)
     series = {
         name: [build(h) for h in lengths] for name, build in schemes.items()
     }
-    return sweep_specs(traces, series, points=lengths)
+    return sweep_specs(traces, series, points=lengths, jobs=jobs)

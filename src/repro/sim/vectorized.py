@@ -1,0 +1,519 @@
+"""Vectorized simulation engine: precomputed index streams.
+
+For the trace-determined predictors the big sweeps run most — bimodal,
+gshare, gselect, gskew and enhanced gskew — *every* table index is a pure
+function of the trace alone: training always uses the true branch outcome,
+so the global-history register contents at each event are fixed by the
+event stream before simulation starts.  This engine exploits that:
+
+1. the per-event global-history values are computed for the whole trace
+   with numpy bit-ops over :class:`~repro.traces.trace.Trace`'s columns;
+2. each bank's full index stream is then evaluated in closed form (the
+   gshare/gselect index functions and the paper's skewing family vectorize
+   directly — see :mod:`repro.core.skew`);
+3. only the irreducibly sequential part — saturating-counter reads and
+   updates, whose values feed back into later predictions — runs as a
+   tight Python loop with no per-branch hashing, dispatch, or history
+   bookkeeping.
+
+The result is behaviourally identical to :func:`repro.sim.engine.simulate`
+(asserted by the equivalence suite in ``tests/sim/test_vectorized.py``,
+like the fused fast paths in the predictors themselves), including the
+predictor's final counter and history state.  :func:`simulate_fast` falls
+back to the generic engine for anything it can't express (tagged,
+per-address, hybrid and custom-skew schemes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.egskew import EnhancedSkewedPredictor
+from repro.core.gskew import SkewedPredictor
+from repro.core.update import UpdatePolicy
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gselect import GselectPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.traces.trace import Trace
+
+__all__ = ["supports", "simulate_vectorized", "simulate_fast", "history_stream"]
+
+#: history lengths must fit a uint64 shift register
+_MAX_HISTORY_BITS = 63
+
+
+# -- index-stream precomputation (numpy, whole-trace) ----------------------
+
+
+def history_stream(takens: np.ndarray, bits: int) -> np.ndarray:
+    """Global-history register value *before* each event, as uint64.
+
+    ``out[i]`` holds the low ``bits`` outcomes of events ``i-1, i-2, ...``
+    with the most recent in the least-significant bit — exactly the
+    register a :class:`~repro.core.history.GlobalHistory` predictor sees
+    when event ``i`` is predicted (the paper shifts unconditional
+    transfers in too, so every event contributes a bit).
+    """
+    if not 0 <= bits <= _MAX_HISTORY_BITS:
+        raise ValueError(f"history bits must be in [0, {_MAX_HISTORY_BITS}]")
+    n = len(takens)
+    out = np.zeros(n, dtype=np.uint64)
+    if bits == 0 or n == 0:
+        return out
+    t = takens.astype(np.uint64)
+    for age in range(1, min(bits, n) + 1):
+        out[age:] |= t[: n - age] << np.uint64(age - 1)
+    return out
+
+
+def _shuffle(y: np.ndarray, n: int) -> np.ndarray:
+    """Vectorized :func:`repro.core.skew.shuffle_h` (inputs already n-bit)."""
+    if n == 1:
+        return y
+    one = np.uint64(1)
+    msb = ((y >> np.uint64(n - 1)) ^ y) & one
+    return (y >> one) | (msb << np.uint64(n - 1))
+
+
+def _shuffle_inverse(z: np.ndarray, n: int) -> np.ndarray:
+    """Vectorized :func:`repro.core.skew.shuffle_h_inverse`."""
+    if n == 1:
+        return z
+    one = np.uint64(1)
+    mask = np.uint64((1 << n) - 1)
+    low = ((z >> np.uint64(n - 1)) ^ (z >> np.uint64(n - 2))) & one
+    return ((z << one) & mask) | low
+
+
+def _skew_streams(
+    words: np.ndarray, hist: np.ndarray, n: int, history_bits: int, banks: int
+) -> List[np.ndarray]:
+    """Index streams for the paper's skewing family (1, 3 or 5 banks).
+
+    ``words`` are word-aligned addresses (``pc >> 2``); only the low
+    ``2n`` bits of the information vector matter to the family, so the
+    uint64 vector packing is exact.
+    """
+    mask = np.uint64((1 << n) - 1)
+    vector = (words << np.uint64(history_bits)) | hist
+    if banks == 1:
+        return [vector & mask]
+    v1 = vector & mask
+    v2 = (vector >> np.uint64(n)) & mask
+    h1 = _shuffle(v1, n)
+    g2 = _shuffle_inverse(v2, n)
+    f0 = h1 ^ g2 ^ v2
+    f1 = h1 ^ g2 ^ v1
+    g1 = _shuffle_inverse(v1, n)
+    h2 = _shuffle(v2, n)
+    f2 = g1 ^ h2 ^ v2
+    if banks == 3:
+        return [f0, f1, f2]
+    f3 = g1 ^ h2 ^ v1
+    f4 = _shuffle(h1, n) ^ _shuffle_inverse(g2, n) ^ v2
+    return [f0, f1, f2, f3, f4]
+
+
+def _gshare_stream(
+    words: np.ndarray, hist: np.ndarray, index_bits: int, history_bits: int
+) -> np.ndarray:
+    mask = np.uint64((1 << index_bits) - 1)
+    pc = words & mask
+    if history_bits == 0:
+        return pc
+    if history_bits <= index_bits:
+        return pc ^ ((hist << np.uint64(index_bits - history_bits)) & mask)
+    folded = np.zeros_like(hist)
+    h = hist.copy()
+    while h.any():
+        folded ^= h & mask
+        h >>= np.uint64(index_bits)
+    return pc ^ folded
+
+
+def _gselect_stream(
+    words: np.ndarray, hist: np.ndarray, index_bits: int, history_bits: int
+) -> np.ndarray:
+    mask = np.uint64((1 << index_bits) - 1)
+    if history_bits == 0:
+        return words & mask
+    if history_bits >= index_bits:
+        return hist & mask
+    address_part = words & np.uint64((1 << (index_bits - history_bits)) - 1)
+    return (address_part << np.uint64(history_bits)) | hist
+
+
+def _egskew_bank0_stream(
+    words: np.ndarray, hist: np.ndarray, predictor: EnhancedSkewedPredictor
+) -> np.ndarray:
+    """Bank 0 of e-gskew: address truncation, or the ablation's short hash."""
+    n = predictor.bank_index_bits
+    mask = np.uint64((1 << n) - 1)
+    b0 = predictor.bank0_history_bits
+    if b0 == 0:
+        return words & mask
+    short = hist & np.uint64((1 << b0) - 1)
+    address_part = words & mask
+    shift = n - b0
+    if shift >= 0:
+        return address_part ^ (short << np.uint64(shift))
+    return (address_part ^ short) & mask
+
+
+def _index_streams(
+    predictor: BranchPredictor, trace: Trace
+) -> Optional[List[np.ndarray]]:
+    """Per-bank index streams over the *conditional* branches, or None.
+
+    Returns None when the predictor's index functions aren't expressible
+    in closed form over the trace (the fallback condition for
+    :func:`simulate_fast`).
+    """
+    kind = type(predictor)
+    conditional = trace.conditionals.astype(bool)
+    words = (trace.pcs >> np.uint64(2))[conditional]
+
+    if kind is BimodalPredictor:
+        mask = np.uint64((1 << predictor.index_bits) - 1)
+        return [words & mask]
+
+    history_bits = getattr(predictor, "history_bits", None)
+    if history_bits is None or history_bits > _MAX_HISTORY_BITS:
+        return None
+    hist = history_stream(trace.takens, history_bits)[conditional]
+
+    if kind is GsharePredictor:
+        return [_gshare_stream(words, hist, predictor.index_bits, history_bits)]
+    if kind is GselectPredictor:
+        return [_gselect_stream(words, hist, predictor.index_bits, history_bits)]
+    if kind is EnhancedSkewedPredictor:
+        n = predictor.bank_index_bits
+        _, f1, f2 = _skew_streams(words, hist, n, history_bits, banks=3)
+        return [_egskew_bank0_stream(words, hist, predictor), f1, f2]
+    if kind is SkewedPredictor:
+        banks = len(predictor.banks)
+        if banks not in (1, 3, 5):
+            return None
+        if not getattr(predictor, "default_skew_family", False):
+            return None
+        return _skew_streams(
+            words, hist, predictor.bank_index_bits, history_bits, banks
+        )
+    return None
+
+
+def supports(predictor: BranchPredictor, trace: Trace) -> bool:
+    """True if ``predictor`` has a vectorized fast path over ``trace``."""
+    kind = type(predictor)
+    if kind is BimodalPredictor:
+        return True
+    if kind in (GsharePredictor, GselectPredictor, EnhancedSkewedPredictor):
+        return predictor.history_bits <= _MAX_HISTORY_BITS
+    if kind is SkewedPredictor:
+        return (
+            getattr(predictor, "default_skew_family", False)
+            and len(predictor.banks) in (1, 3, 5)
+            and predictor.history_bits <= _MAX_HISTORY_BITS
+        )
+    return False
+
+
+# -- the sequential counter loops ------------------------------------------
+
+
+def _loop_single(
+    values: List[int], threshold: int, vmax: int,
+    indices: Sequence[int], outcomes: Sequence[bool],
+) -> int:
+    """One tag-less table: read, score, saturating update."""
+    miss = 0
+    for idx, t in zip(indices, outcomes):
+        v = values[idx]
+        if (v >= threshold) != t:
+            miss += 1
+        if t:
+            if v < vmax:
+                values[idx] = v + 1
+        elif v > 0:
+            values[idx] = v - 1
+    return miss
+
+
+def _loop3_partial(
+    v0: List[int], v1: List[int], v2: List[int],
+    threshold: int, vmax: int,
+    i0: Sequence[int], i1: Sequence[int], i2: Sequence[int],
+    outcomes: Sequence[bool],
+) -> int:
+    """3-bank majority vote, partial update (the paper's headline config)."""
+    miss = 0
+    for a, b, c, t in zip(i0, i1, i2, outcomes):
+        x = v0[a]
+        y = v1[b]
+        z = v2[c]
+        p0 = x >= threshold
+        p1 = y >= threshold
+        p2 = z >= threshold
+        if ((p0 and p1) or (p2 and (p0 or p1))) != t:
+            # Overall wrong: retrain every bank.
+            miss += 1
+            if t:
+                if x < vmax:
+                    v0[a] = x + 1
+                if y < vmax:
+                    v1[b] = y + 1
+                if z < vmax:
+                    v2[c] = z + 1
+            else:
+                if x > 0:
+                    v0[a] = x - 1
+                if y > 0:
+                    v1[b] = y - 1
+                if z > 0:
+                    v2[c] = z - 1
+        elif t:
+            # Overall correct: strengthen only the agreeing banks.
+            if p0 and x < vmax:
+                v0[a] = x + 1
+            if p1 and y < vmax:
+                v1[b] = y + 1
+            if p2 and z < vmax:
+                v2[c] = z + 1
+        else:
+            if not p0 and x > 0:
+                v0[a] = x - 1
+            if not p1 and y > 0:
+                v1[b] = y - 1
+            if not p2 and z > 0:
+                v2[c] = z - 1
+    return miss
+
+
+def _loop3_total(
+    v0: List[int], v1: List[int], v2: List[int],
+    threshold: int, vmax: int,
+    i0: Sequence[int], i1: Sequence[int], i2: Sequence[int],
+    outcomes: Sequence[bool],
+) -> int:
+    """3-bank majority vote, total update: every bank trains every branch."""
+    miss = 0
+    for a, b, c, t in zip(i0, i1, i2, outcomes):
+        x = v0[a]
+        y = v1[b]
+        z = v2[c]
+        p0 = x >= threshold
+        p1 = y >= threshold
+        p2 = z >= threshold
+        if ((p0 and p1) or (p2 and (p0 or p1))) != t:
+            miss += 1
+        if t:
+            if x < vmax:
+                v0[a] = x + 1
+            if y < vmax:
+                v1[b] = y + 1
+            if z < vmax:
+                v2[c] = z + 1
+        else:
+            if x > 0:
+                v0[a] = x - 1
+            if y > 0:
+                v1[b] = y - 1
+            if z > 0:
+                v2[c] = z - 1
+    return miss
+
+
+def _loop3_lazy(
+    v0: List[int], v1: List[int], v2: List[int],
+    threshold: int, vmax: int,
+    i0: Sequence[int], i1: Sequence[int], i2: Sequence[int],
+    outcomes: Sequence[bool],
+) -> int:
+    """3-bank majority vote, lazy update: train only on overall misses."""
+    miss = 0
+    for a, b, c, t in zip(i0, i1, i2, outcomes):
+        x = v0[a]
+        y = v1[b]
+        z = v2[c]
+        p0 = x >= threshold
+        p1 = y >= threshold
+        p2 = z >= threshold
+        if ((p0 and p1) or (p2 and (p0 or p1))) != t:
+            miss += 1
+            if t:
+                if x < vmax:
+                    v0[a] = x + 1
+                if y < vmax:
+                    v1[b] = y + 1
+                if z < vmax:
+                    v2[c] = z + 1
+            else:
+                if x > 0:
+                    v0[a] = x - 1
+                if y > 0:
+                    v1[b] = y - 1
+                if z > 0:
+                    v2[c] = z - 1
+    return miss
+
+
+_LOOP3 = {
+    UpdatePolicy.PARTIAL: _loop3_partial,
+    UpdatePolicy.TOTAL: _loop3_total,
+    UpdatePolicy.LAZY: _loop3_lazy,
+}
+
+
+def _loop_voted(
+    values: List[List[int]], threshold: int, vmax: int,
+    index_lists: List[Sequence[int]], outcomes: Sequence[bool],
+    policy: UpdatePolicy,
+) -> int:
+    """Generic odd-bank-count loop (the 1- and 5-bank configurations)."""
+    banks = len(values)
+    need = banks // 2 + 1
+    miss = 0
+    preds = [False] * banks
+    for row in zip(outcomes, *index_lists):
+        t = row[0]
+        votes = 0
+        for b in range(banks):
+            p = values[b][row[1 + b]] >= threshold
+            preds[b] = p
+            if p:
+                votes += 1
+        wrong = (votes >= need) != t
+        if wrong:
+            miss += 1
+        if policy is UpdatePolicy.TOTAL:
+            train = range(banks)
+        elif policy is UpdatePolicy.PARTIAL:
+            train = (
+                range(banks)
+                if wrong
+                else [b for b in range(banks) if preds[b] == t]
+            )
+        else:  # LAZY
+            train = range(banks) if wrong else ()
+        for b in train:
+            bank = values[b]
+            idx = row[1 + b]
+            v = bank[idx]
+            if t:
+                if v < vmax:
+                    bank[idx] = v + 1
+            elif v > 0:
+                bank[idx] = v - 1
+    return miss
+
+
+# -- the engine ------------------------------------------------------------
+
+
+def _final_history(takens: np.ndarray, bits: int) -> int:
+    """Register contents after the whole trace has shifted through."""
+    value = 0
+    for t in takens[-bits:] if bits else ():
+        value = (value << 1) | int(t)
+    return value & ((1 << bits) - 1 if bits else 0)
+
+
+def _run_plan(
+    predictor: BranchPredictor,
+    streams: List[np.ndarray],
+    outcomes: List[bool],
+    warmup: int,
+) -> Tuple[int, int]:
+    """Drive the counter loop(s); returns (scored branches, mispredictions)."""
+    index_lists = [stream.tolist() for stream in streams]
+    scored = max(0, len(outcomes) - warmup)
+
+    if len(streams) == 1 and hasattr(predictor, "bank"):
+        counters = predictor.bank.counters
+        run = lambda lo, hi: _loop_single(  # noqa: E731
+            counters.values, counters.threshold, counters.max_value,
+            index_lists[0][lo:hi], outcomes[lo:hi],
+        )
+    elif len(streams) == 3:
+        banks = predictor.banks
+        loop3 = _LOOP3[predictor.update_policy]
+        c0, c1, c2 = (bank.counters for bank in banks)
+        run = lambda lo, hi: loop3(  # noqa: E731
+            c0.values, c1.values, c2.values, c0.threshold, c0.max_value,
+            index_lists[0][lo:hi], index_lists[1][lo:hi],
+            index_lists[2][lo:hi], outcomes[lo:hi],
+        )
+    else:
+        counters = [bank.counters for bank in predictor.banks]
+        run = lambda lo, hi: _loop_voted(  # noqa: E731
+            [c.values for c in counters],
+            counters[0].threshold, counters[0].max_value,
+            [lst[lo:hi] for lst in index_lists], outcomes[lo:hi],
+            predictor.update_policy,
+        )
+
+    if warmup:
+        run(0, warmup)  # trains identically; misses aren't scored
+    return scored, run(warmup, len(outcomes))
+
+
+def simulate_vectorized(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup: int = 0,
+    label: Optional[str] = None,
+) -> SimulationResult:
+    """Vectorized-index counterpart of :func:`repro.sim.engine.simulate`.
+
+    Identical arguments and result; also leaves the predictor's counters
+    and history register in the same final state the generic engine would.
+
+    Raises:
+        ValueError: if the predictor has no vectorized path (callers
+            wanting automatic fallback use :func:`simulate_fast`).
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    streams = _index_streams(predictor, trace)
+    if streams is None:
+        raise ValueError(
+            f"no vectorized path for {type(predictor).__name__}; "
+            "use simulate_fast() or the generic engine"
+        )
+    conditional = trace.conditionals.astype(bool)
+    outcomes = trace.takens[conditional].astype(bool).tolist()
+    scored, mispredictions = _run_plan(predictor, streams, outcomes, warmup)
+
+    history = getattr(predictor, "history", None)
+    if history is not None and history.bits:
+        history.value = _final_history(trace.takens, history.bits)
+
+    return SimulationResult(
+        predictor=label or predictor.name,
+        trace=trace.name,
+        conditional_branches=scored,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits,
+        history_bits=getattr(predictor, "history_bits", None),
+    )
+
+
+def simulate_fast(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup: int = 0,
+    label: Optional[str] = None,
+) -> SimulationResult:
+    """Run on the vectorized engine when possible, else the generic one.
+
+    This is the engine entry point the sweep machinery uses; behaviour is
+    identical either way, only wall-clock differs.
+    """
+    if supports(predictor, trace):
+        return simulate_vectorized(predictor, trace, warmup=warmup, label=label)
+    return simulate(predictor, trace, warmup=warmup, label=label)

@@ -10,7 +10,9 @@ Usage (installed as ``repro-trace``):
 ``generate`` synthesises an IBS-clone trace and caches it on disk;
 ``info`` prints Table-1/2-style statistics; ``convert`` transcodes
 between the binary (.npz) and text formats by extension; ``simulate``
-runs predictor specs over a cached trace.
+runs predictor specs over a cached trace, on the vectorized engine
+where one applies and optionally across worker processes
+(``--jobs N``; default from the ``REPRO_JOBS`` environment variable).
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.sim.config import make_predictor
-from repro.sim.engine import simulate
+from repro.sim.parallel import simulate_specs
 from repro.traces.io import (
     load_trace,
     load_trace_text,
@@ -86,9 +88,12 @@ def _cmd_convert(args) -> int:
 
 def _cmd_simulate(args) -> int:
     trace = _load_any(Path(args.trace))
-    print(f"{'spec':32s} {'storage':>9s} {'misprediction':>14s}")
     for spec in args.specs:
-        result = simulate(make_predictor(spec), trace, label=spec)
+        make_predictor(spec)  # reject malformed specs before any work
+    print(f"{'spec':32s} {'storage':>9s} {'misprediction':>14s}")
+    for spec, result in zip(
+        args.specs, simulate_specs(trace, args.specs, jobs=args.jobs)
+    ):
         print(
             f"{spec:32s} {result.storage_bits:>8d}b "
             f"{result.misprediction_ratio:>13.2%}"
@@ -158,6 +163,15 @@ def main(argv=None) -> int:
     )
     sim.add_argument("trace")
     sim.add_argument("specs", nargs="+")
+    sim.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes (0 = one per CPU; "
+            "default: $REPRO_JOBS, else serial)"
+        ),
+    )
     sim.set_defaults(handler=_cmd_simulate)
 
     profile = commands.add_parser(

@@ -40,6 +40,7 @@ __all__ = [
     "ibs_trace",
     "all_ibs_traces",
     "clear_trace_cache",
+    "trace_cache_key",
 ]
 
 #: The six benchmarks every paper table/figure reports.
@@ -302,8 +303,28 @@ def ibs_trace(name: str, scale: float = 1.0) -> Trace:
 
 
 def clear_trace_cache() -> None:
-    """Drop memoised traces (tests use this to bound memory)."""
+    """Drop memoised traces (tests use this to bound memory).
+
+    Also releases each memoised trace's materialised column lists: a trace
+    kept alive by an outside reference would otherwise hold both its numpy
+    arrays and the Python-int lists, doubling its footprint.
+    """
+    for trace in _TRACE_CACHE.values():
+        trace.release_columns()
     _TRACE_CACHE.clear()
+
+
+def trace_cache_key(trace: Trace) -> "Tuple[str, float] | None":
+    """The ``(name, scale)`` cache key of a memoised trace, if any.
+
+    The parallel sweep runner uses this to ship a cheap descriptor across
+    the process pipe instead of the trace's arrays: workers regenerate the
+    trace deterministically from the workload config.
+    """
+    for key, cached in _TRACE_CACHE.items():
+        if cached is trace:
+            return key
+    return None
 
 
 def all_ibs_traces(scale: float = 1.0) -> List[Trace]:

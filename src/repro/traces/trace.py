@@ -9,13 +9,16 @@ per the paper's methodology.
 Storage is numpy-backed for memory efficiency and fast disk round-trips;
 the simulation engines iterate over cached Python-int lists
 (:meth:`Trace.columns`) because per-element access to numpy arrays from
-interpreted loops is several times slower than list access.
+interpreted loops is several times slower than list access.  The
+materialised lists are cached per column and can be dropped with
+:meth:`Trace.release_columns` when a long sweep session is done with a
+trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,9 +62,9 @@ class Trace:
         )
         self.name = name
         self.seed = seed
-        self._columns_cache: Optional[
-            Tuple[List[int], List[int], List[int], List[int]]
-        ] = None
+        #: per-column cache of materialised Python lists; see columns() /
+        #: sim_columns().  Keyed per column so the two views share storage.
+        self._column_lists: Dict[str, list] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -126,19 +129,61 @@ class Trace:
         for i in range(len(self)):
             yield self[i]
 
+    def _column(self, key: str) -> list:
+        cached = self._column_lists.get(key)
+        if cached is None:
+            if key == "pcs":
+                cached = self.pcs.tolist()
+            elif key == "takens":
+                cached = self.takens.tolist()
+            elif key == "conditionals":
+                cached = self.conditionals.tolist()
+            elif key == "targets":
+                cached = self.targets.tolist()
+            elif key == "takens_bool":
+                cached = self.takens.astype(bool).tolist()
+            elif key == "conditionals_bool":
+                cached = self.conditionals.astype(bool).tolist()
+            else:  # pragma: no cover - internal misuse
+                raise KeyError(key)
+            self._column_lists[key] = cached
+        return cached
+
     def columns(self) -> Tuple[List[int], List[int], List[int], List[int]]:
         """Hot-loop view: (pcs, takens, conditionals, targets) as int lists.
 
         Cached after the first call; callers must not mutate the lists.
         """
-        if self._columns_cache is None:
-            self._columns_cache = (
-                self.pcs.tolist(),
-                self.takens.tolist(),
-                self.conditionals.tolist(),
-                self.targets.tolist(),
-            )
-        return self._columns_cache
+        return (
+            self._column("pcs"),
+            self._column("takens"),
+            self._column("conditionals"),
+            self._column("targets"),
+        )
+
+    def sim_columns(self) -> Tuple[List[int], List[bool], List[bool]]:
+        """Engine hot-loop view: (pcs, takens, conditionals), outcomes as bools.
+
+        The simulation engine's inner loop tests each event's direction and
+        kind once per branch; handing it real booleans removes the
+        per-iteration ``taken_int == 1`` comparison.  The pcs list is shared
+        with :meth:`columns`.  Cached; callers must not mutate the lists.
+        """
+        return (
+            self._column("pcs"),
+            self._column("takens_bool"),
+            self._column("conditionals_bool"),
+        )
+
+    def release_columns(self) -> None:
+        """Drop every materialised column list.
+
+        The numpy arrays stay; the next :meth:`columns` / :meth:`sim_columns`
+        call re-materialises.  Long sweep sessions call this (via
+        ``clear_trace_cache``) so memoised traces don't hold both the numpy
+        and the Python-list storage alive indefinitely.
+        """
+        self._column_lists.clear()
 
     def head(self, count: int) -> "Trace":
         """A new trace consisting of the first ``count`` events."""

@@ -1,0 +1,88 @@
+"""Tests for the parallel sweep runner.
+
+The guarantee under test: a parallel sweep produces a SweepResult grid
+*identical* to the serial one — same cell order, same numbers — and the
+``jobs`` conventions (``REPRO_JOBS`` env default, ``0`` = one per CPU,
+``1`` = strictly serial) hold.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.parallel import (
+    JOBS_ENV_VAR,
+    resolve_jobs,
+    run_cells,
+    simulate_specs,
+)
+from repro.sim.sweep import sweep_specs
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_invalid_env_var_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_jobs_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+class TestRunCells:
+    def test_parallel_matches_serial(self, tiny_trace):
+        cells = [
+            (0, "gshare:128:h4"),
+            (0, "gskew:3x64:h4:partial"),
+            (0, "gskew:3x64:h4:total"),
+            (0, "bimodal:128"),
+            (0, "fa:32:h4"),  # generic-engine fallback inside a worker
+        ]
+        serial = run_cells([tiny_trace], cells, jobs=1)
+        parallel = run_cells([tiny_trace], cells, jobs=4)
+        assert parallel == serial
+        assert [r.predictor for r in parallel] == [spec for _, spec in cells]
+
+    def test_simulate_specs_alignment(self, tiny_trace):
+        specs = ["bimodal:64", "gshare:64:h3", "gselect:64:h3"]
+        results = simulate_specs(tiny_trace, specs, jobs=2)
+        assert [r.predictor for r in results] == specs
+        assert all(r.trace == tiny_trace.name for r in results)
+
+
+class TestParallelSweeps:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return {
+            "gshare": ["gshare:64:h3", "gshare:256:h3"],
+            "gskew": ["gskew:3x64:h3:partial", "gskew:3x256:h3:partial"],
+        }
+
+    def test_grids_identical_to_serial(self, tiny_trace, small_trace, series):
+        traces = [tiny_trace, small_trace]
+        serial = sweep_specs(traces, series, points=[64, 256], jobs=1)
+        parallel = sweep_specs(traces, series, points=[64, 256], jobs=4)
+        assert parallel.points == serial.points
+        assert parallel.series == serial.series
+
+    def test_env_var_reaches_sweeps(self, tiny_trace, series, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        by_env = sweep_specs([tiny_trace], series, points=[64, 256])
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        serial = sweep_specs([tiny_trace], series, points=[64, 256])
+        assert by_env.series == serial.series

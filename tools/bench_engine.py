@@ -1,0 +1,198 @@
+"""Benchmark the simulation engines and the parallel sweep runner.
+
+Times, on one IBS-clone trace:
+
+1. **engine** — branches/second of the generic interpreter
+   (``repro.sim.engine.simulate``) vs the vectorized index-precompute
+   engine (``repro.sim.vectorized.simulate_vectorized``) for each
+   supported predictor family, checking the results are identical;
+2. **sweep** — wall-clock of a gshare/gskew size sweep run serially on
+   the generic engine, serially on the vectorized engine (the
+   single-process speedup), and through the multiprocessing runner at
+   each requested ``--jobs`` value.
+
+The numbers land in ``BENCH_engine.json`` (repo root by default)
+together with ``cpu_count``, so parallel scaling figures can be read in
+context of the machine that produced them.
+
+Run:  python tools/bench_engine.py [--scale 0.4] [--jobs 1 2 4]
+                                   [--repeat 3] [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.sim.parallel import run_cells
+from repro.sim.vectorized import simulate_vectorized
+from repro.traces.synthetic.workloads import ibs_trace
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+ENGINE_SPECS = [
+    "bimodal:4k",
+    "gshare:4k:h8",
+    "gselect:4k:h8",
+    "gskew:3x1k:h8:partial",
+    "gskew:3x1k:h8:total",
+    "egskew:3x1k:h8:partial",
+]
+
+SWEEP_SIZES = [64, 256, "1k", "4k"]
+SWEEP_TEMPLATES = ("gshare:{size}:h8", "gskew:3x{size}:h8:partial")
+
+
+def _best_of(repeat, fn):
+    """Best-of-N wall-clock of ``fn`` plus its (last) return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def bench_engines(trace, repeat):
+    rows = []
+    for spec in ENGINE_SPECS:
+        generic_s, expected = _best_of(
+            repeat, lambda: simulate(make_predictor(spec), trace, label=spec)
+        )
+        vectorized_s, actual = _best_of(
+            repeat,
+            lambda: simulate_vectorized(
+                make_predictor(spec), trace, label=spec
+            ),
+        )
+        branches = expected.conditional_branches
+        rows.append(
+            {
+                "spec": spec,
+                "generic_s": round(generic_s, 4),
+                "vectorized_s": round(vectorized_s, 4),
+                "generic_branches_per_s": round(branches / generic_s),
+                "vectorized_branches_per_s": round(branches / vectorized_s),
+                "speedup": round(generic_s / vectorized_s, 2),
+                "identical": actual == expected,
+            }
+        )
+        print(
+            f"  {spec:28s} generic {generic_s:7.3f}s  "
+            f"vectorized {vectorized_s:7.3f}s  "
+            f"x{generic_s / vectorized_s:5.1f}  "
+            f"{'ok' if rows[-1]['identical'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def _sweep_cells():
+    return [
+        (0, template.format(size=size))
+        for template in SWEEP_TEMPLATES
+        for size in SWEEP_SIZES
+    ]
+
+
+def bench_sweep(trace, jobs_values, repeat):
+    cells = _sweep_cells()
+
+    def generic_sweep():
+        return [
+            simulate(make_predictor(spec), trace, label=spec)
+            for _, spec in cells
+        ]
+
+    generic_s, expected = _best_of(repeat, generic_sweep)
+    vectorized_s, actual = _best_of(
+        repeat, lambda: run_cells([trace], cells, jobs=1)
+    )
+    speedup = generic_s / vectorized_s
+    print(
+        f"  {len(cells)}-cell gshare/gskew size sweep: "
+        f"generic serial {generic_s:.3f}s, vectorized serial "
+        f"{vectorized_s:.3f}s -> x{speedup:.1f} single-process"
+    )
+
+    jobs_rows = []
+    for jobs in jobs_values:
+        elapsed, parallel = _best_of(
+            repeat, lambda: run_cells([trace], cells, jobs=jobs)
+        )
+        jobs_rows.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(elapsed, 4),
+                "speedup_vs_serial": round(vectorized_s / elapsed, 2),
+                "identical": parallel == actual,
+            }
+        )
+        print(
+            f"  jobs={jobs}: {elapsed:.3f}s "
+            f"(x{vectorized_s / elapsed:.2f} vs serial)"
+        )
+
+    return {
+        "cells": len(cells),
+        "specs": [spec for _, spec in cells],
+        "generic_serial_s": round(generic_s, 4),
+        "vectorized_serial_s": round(vectorized_s, 4),
+        "single_process_speedup": round(speedup, 2),
+        "identical": actual == expected,
+        "jobs": jobs_rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--benchmark", default="groff")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts to time the sweep at (default: 1 2 4)",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    trace = ibs_trace(args.benchmark, scale=args.scale)
+    trace.sim_columns()  # materialise hot columns outside the timed region
+    print(
+        f"trace {trace.name} x{args.scale}: "
+        f"{trace.conditional_count} conditional branches"
+    )
+
+    print("engine (generic vs vectorized):")
+    engine_rows = bench_engines(trace, args.repeat)
+    print("sweep (serial vs parallel):")
+    sweep = bench_sweep(trace, args.jobs, args.repeat)
+
+    report = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "benchmark": args.benchmark,
+        "scale": args.scale,
+        "repeat": args.repeat,
+        "conditional_branches": trace.conditional_count,
+        "engine": engine_rows,
+        "sweep": sweep,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    ok = all(row["identical"] for row in engine_rows) and sweep["identical"]
+    if not ok:
+        print("ERROR: engines disagree; see the 'identical' fields")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

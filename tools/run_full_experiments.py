@@ -1,13 +1,18 @@
 """Run every experiment at full default scale and save the reports.
 
 Development tool backing EXPERIMENTS.md: writes one report per
-experiment under benchmarks/results/full/ and a combined log.
+experiment under benchmarks/results/full/ and a combined log.  A failing
+experiment is reported and skipped rather than aborting the run; the
+final summary line always carries the total elapsed time, and the exit
+status is non-zero if anything raised.
 
-Run:  python tools/run_full_experiments.py [--scale 1.0]
+Run:  python tools/run_full_experiments.py [--scale 1.0] [--jobs N]
 """
 
 import argparse
+import sys
 import time
+import traceback
 from pathlib import Path
 
 from repro.experiments.runner import EXPERIMENTS, run_experiment
@@ -15,21 +20,47 @@ from repro.experiments.runner import EXPERIMENTS, run_experiment
 OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sweep-shaped experiments "
+            "(0 = one per CPU; default: $REPRO_JOBS, else serial)"
+        ),
+    )
     parser.add_argument("names", nargs="*", default=[])
     args = parser.parse_args()
 
     OUT.mkdir(parents=True, exist_ok=True)
     names = args.names or list(EXPERIMENTS)
+    overall_started = time.time()
+    failures = []
     for name in names:
         started = time.time()
-        report = run_experiment(name, scale=args.scale)
+        try:
+            report = run_experiment(name, scale=args.scale, jobs=args.jobs)
+        except Exception:
+            failures.append(name)
+            print(f"{name}: FAILED after {time.time() - started:.1f}s")
+            traceback.print_exc()
+            continue
         elapsed = time.time() - started
         (OUT / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
         print(f"{name}: {elapsed:.1f}s -> {OUT / (name + '.txt')}")
 
+    total = time.time() - overall_started
+    ok = len(names) - len(failures)
+    print(
+        f"total: {total:.1f}s for {len(names)} experiments "
+        f"({ok} ok, {len(failures)} failed"
+        + (f": {', '.join(failures)})" if failures else ")")
+    )
+    return 1 if failures else 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
