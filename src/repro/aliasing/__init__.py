@@ -15,8 +15,14 @@ from repro.aliasing.tagged_table import TaggedDirectMappedTable
 from repro.aliasing.three_cs import (
     AliasingBreakdown,
     measure_aliasing,
+    measure_aliasing_reference,
     pair_index_fn,
     pair_stream,
+)
+from repro.aliasing.vectorized import (
+    last_use_distances,
+    measure_aliasing_sweep,
+    pair_last_use_distances,
 )
 
 __all__ = [
@@ -31,6 +37,10 @@ __all__ = [
     "TaggedDirectMappedTable",
     "AliasingBreakdown",
     "measure_aliasing",
+    "measure_aliasing_reference",
     "pair_index_fn",
     "pair_stream",
+    "last_use_distances",
+    "measure_aliasing_sweep",
+    "pair_last_use_distances",
 ]

@@ -15,11 +15,20 @@ The same distances also drive the fully-associative-LRU decomposition:
 a reference hits an N-entry LRU table iff ``D < N``, which is how
 :mod:`repro.aliasing.three_cs` can derive capacity-aliasing curves for
 *all* table sizes from a single trace pass.
+
+For whole-trace work the streaming tracker is superseded by the offline
+numpy engine (:func:`repro.aliasing.vectorized.last_use_distances`),
+which produces the identical distance profile an order of magnitude
+faster; :func:`distance_histogram` accepts either representation (an
+iterable of ``Optional[int]`` or a ``-1``-marked integer array) and
+buckets arrays without a Python-level loop.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
 
 __all__ = ["FenwickTree", "LastUseDistanceTracker", "distance_histogram"]
 
@@ -114,14 +123,27 @@ class LastUseDistanceTracker:
 
 
 def distance_histogram(
-    distances: Iterable[Optional[int]],
+    distances: "Iterable[Optional[int]] | np.ndarray",
 ) -> "tuple[List[int], int]":
     """Bucket distances by power of two; returns (buckets, first_count).
 
     ``buckets[i]`` counts distances ``d`` with ``2^i <= d+1 < 2^(i+1)``
     (so bucket 0 holds d == 0); first encounters are returned separately.
     Used by the capacity-aliasing analyses and the trace-quality report.
+    Accepts either the streaming representation (``None`` marks first
+    encounters) or the vectorized engine's integer array (``-1`` marks
+    them), bucketing the latter entirely in numpy.
     """
+    if isinstance(distances, np.ndarray):
+        first = int((distances < 0).sum())
+        finite = distances[distances >= 0].astype(np.int64)
+        if len(finite) == 0:
+            return [], first
+        # slot = (d + 1).bit_length() - 1, exactly: frexp yields the
+        # exponent e with d + 1 = m * 2^e, 0.5 <= m < 1, so e - 1 is the
+        # bucket (ints below 2^53 are exact in the float conversion).
+        slots = np.frexp((finite + 1).astype(np.float64))[1] - 1
+        return np.bincount(slots).tolist(), first
     buckets: List[int] = []
     first = 0
     for d in distances:

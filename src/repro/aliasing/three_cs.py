@@ -12,7 +12,11 @@ Mirrors Hill's cache-miss taxonomy:
 :func:`measure_aliasing` runs the paper's instruments — direct-mapped
 tagged tables under the gshare and gselect index functions, and a
 fully-associative LRU tag store — over a trace in a single pass and
-returns the decomposition (the data behind Figures 1 and 2).
+returns the decomposition (the data behind Figures 1 and 2).  It
+dispatches to the numpy engine in :mod:`repro.aliasing.vectorized` by
+default (bit-identical, an order of magnitude faster); the
+per-reference tables remain available as
+:func:`measure_aliasing_reference` and serve as the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ __all__ = [
     "AliasingBreakdown",
     "pair_index_fn",
     "measure_aliasing",
+    "measure_aliasing_reference",
     "pair_stream",
 ]
 
@@ -106,12 +111,55 @@ def measure_aliasing(
     entries: int,
     history_bits: int,
     schemes: Sequence[str] = ("gshare", "gselect"),
+    engine: str = "auto",
 ) -> Dict[str, AliasingBreakdown]:
     """One-pass 3Cs measurement for several index schemes at one size.
 
     Returns a mapping from scheme name to its breakdown; the shared
     fully-associative reference appears inside every breakdown (it does
     not depend on the index function).
+
+    ``engine`` selects the implementation: ``"vectorized"`` runs the
+    numpy engine (:mod:`repro.aliasing.vectorized`), ``"reference"`` the
+    per-reference tables, and ``"auto"`` (the default) the vectorized
+    engine whenever it supports the history length.  Both produce
+    bit-identical breakdowns; sweeps over many sizes should call
+    :func:`repro.aliasing.vectorized.measure_aliasing_sweep` directly so
+    the stack-distance pass is shared across sizes.
+    """
+    if engine not in ("auto", "vectorized", "reference"):
+        raise ValueError(
+            f"unknown engine {engine!r}; "
+            "expected auto, vectorized or reference"
+        )
+    if engine != "reference":
+        from repro.aliasing import vectorized
+
+        if vectorized.supports(history_bits):
+            return vectorized.measure_aliasing_vectorized(
+                trace, entries, history_bits, schemes
+            )
+        if engine == "vectorized":
+            raise ValueError(
+                f"vectorized engine does not support "
+                f"history_bits={history_bits}"
+            )
+    return measure_aliasing_reference(trace, entries, history_bits, schemes)
+
+
+def measure_aliasing_reference(
+    trace: Trace,
+    entries: int,
+    history_bits: int,
+    schemes: Sequence[str] = ("gshare", "gselect"),
+) -> Dict[str, AliasingBreakdown]:
+    """The per-reference implementation (semantic baseline).
+
+    Walks the pair stream once through a
+    :class:`~repro.aliasing.tagged_table.TaggedDirectMappedTable` per
+    scheme plus one shared
+    :class:`~repro.aliasing.lru_table.FullyAssociativeLRUTable`.  Kept
+    as the equivalence oracle for the vectorized engine.
     """
     if entries < 1:
         raise ValueError(f"entry count must be >= 1, got {entries}")

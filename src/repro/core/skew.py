@@ -13,9 +13,12 @@ vector is decomposed as ``V = (V3, V2, V1)`` where ``V1`` and ``V2`` are
 the two low-order ``n``-bit substrings and ``V3`` is whatever remains.
 
 The key dispersion property (asserted by property tests in
-``tests/core/test_skew.py``) is: if two distinct vectors with equal high
-parts collide under one of the ``f_i``, they do *not* collide under the
-other two unless their low ``2n`` bits are identical.
+``tests/core/test_skew.py``): vectors whose low substrings differ in
+``V1`` only or ``V2`` only collide in *no* bank, and a collision in two
+or more banks requires the difference pattern to sit in a tiny symmetric
+kernel (``d1 == d2 == d`` with ``H(d) ^ H^-1(d) == d`` — at most 3 of
+the ``2^2n`` patterns, empty at most widths), so almost every distinct
+pair conflicts in at most one bank.
 """
 
 from __future__ import annotations

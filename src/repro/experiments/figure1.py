@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.aliasing.three_cs import AliasingBreakdown, measure_aliasing
+from repro.aliasing.three_cs import AliasingBreakdown
+from repro.aliasing.vectorized import measure_aliasing_sweep
 from repro.experiments.common import DEFAULT_SIZES, load_benchmarks
 from repro.experiments.report import format_series
 
@@ -51,7 +52,13 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     history_bits: int = HISTORY_BITS,
 ) -> AliasingCurves:
-    """Measure the three aliasing instruments over the size grid."""
+    """Measure the three aliasing instruments over the size grid.
+
+    Each trace takes a single pass: the one-pass vectorized engine
+    (:func:`repro.aliasing.vectorized.measure_aliasing_sweep`) shares
+    the pair stream and stack-distance profile across every size in the
+    grid instead of re-walking the trace per size.
+    """
     traces = load_benchmarks(benchmarks, scale)
     curves: Dict[str, Dict[str, List[float]]] = {}
     breakdowns: Dict[str, List[AliasingBreakdown]] = {}
@@ -62,10 +69,11 @@ def run(
             "fa": [],
         }
         per_size: List[AliasingBreakdown] = []
+        sweep = measure_aliasing_sweep(
+            trace, sizes, history_bits, schemes=("gshare", "gselect")
+        )
         for entries in sizes:
-            measured = measure_aliasing(
-                trace, entries, history_bits, schemes=("gshare", "gselect")
-            )
+            measured = sweep[entries]
             gshare = measured["gshare"]
             per_scheme["gshare"].append(gshare.total)
             per_scheme["gselect"].append(measured["gselect"].total)

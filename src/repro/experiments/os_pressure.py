@@ -22,7 +22,8 @@ from repro.aliasing.three_cs import measure_aliasing
 from repro.experiments.report import format_table, percent
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
-from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
+from repro.traces.cache import generate_trace_cached
+from repro.traces.synthetic.generator import WorkloadConfig
 from repro.traces.synthetic.kernel import SchedulerConfig
 
 __all__ = ["OsPressureResult", "run", "render"]
@@ -75,7 +76,7 @@ def run(
                     interrupt_rate=0.0008 if share > 0 else 0.0,
                 ),
             )
-            trace = generate_trace(config)
+            trace = generate_trace_cached(config)
             mispredict = simulate(
                 make_predictor(predictor_spec), trace
             ).misprediction_ratio

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.report import format_table, percent
 from repro.sim.compare import mcnemar, paired_outcomes
 from repro.sim.config import make_predictor
-from repro.traces.synthetic.generator import generate_trace
+from repro.traces.cache import generate_trace_cached
 from repro.traces.synthetic.workloads import ibs_workload
 
 __all__ = ["RobustnessResult", "run", "render"]
@@ -80,7 +80,7 @@ def run(
         name: [] for name in comparisons
     }
     for seed in seeds:
-        trace = generate_trace(
+        trace = generate_trace_cached(
             replace(base, seed=base.seed * 1000 + seed,
                     name=f"{benchmark}#s{seed}")
         )

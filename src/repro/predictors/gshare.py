@@ -33,7 +33,9 @@ def gshare_index(
     """
     mask = (1 << index_bits) - 1
     pc = (address >> 2) & mask
-    if history_bits == 0:
+    if history_bits == 0 or index_bits == 0:
+        # A 1-entry table has a single index; bailing here also keeps the
+        # fold loop below well-defined (its shift step is index_bits).
         return pc
     if history_bits <= index_bits:
         # Footnote 1: align history with the high-order end of the index.

@@ -7,7 +7,9 @@ result grid *byte-identical* to a serial run:
 
 - **cheap tasks** — a cell crosses the pipe as ``(trace index, spec
   string)``; the worker builds the predictor from the spec and looks the
-  trace up locally;
+  trace up locally.  Cells are dispatched in contiguous *chunks* (at
+  most two per worker), so pipe round-trips scale with the worker count
+  rather than the grid size;
 - **per-worker trace memoisation** — the pool initializer receives trace
   *descriptors*, not arrays.  Traces produced by the workload substrate
   are regenerated deterministically from their ``(benchmark, scale)``
@@ -31,6 +33,7 @@ one worker per CPU, and ``jobs=1`` never touches multiprocessing.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.config import make_predictor
@@ -46,6 +49,28 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 
 #: trace table of the current worker process, set by the pool initializer
 _WORKER_TRACES: List[Trace] = []
+
+#: one-time oversubscription warning latch (see :func:`_warn_oversubscribed`)
+_WARNED_OVERSUBSCRIBED = False
+
+
+def _warn_oversubscribed(jobs: int) -> None:
+    """Warn once per process when ``jobs`` exceeds the CPU count.
+
+    Worker processes beyond the core count only add scheduling and IPC
+    overhead for this CPU-bound workload; the run still proceeds with the
+    requested count, since the caller may know better (e.g. SMT).
+    """
+    global _WARNED_OVERSUBSCRIBED
+    cpus = os.cpu_count() or 1
+    if jobs > cpus and not _WARNED_OVERSUBSCRIBED:
+        _WARNED_OVERSUBSCRIBED = True
+        warnings.warn(
+            f"jobs={jobs} exceeds the {cpus} available CPU(s); the sweep "
+            "is CPU-bound, so extra workers usually slow it down",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -112,6 +137,33 @@ def _run_cell(task: Tuple[int, str]) -> SimulationResult:
     return simulate_fast(make_predictor(spec), trace, label=spec)
 
 
+def _run_chunk(chunk: Sequence[Tuple[int, str]]) -> List[SimulationResult]:
+    """Worker task: simulate a contiguous run of cells, in order."""
+    return [_run_cell(task) for task in chunk]
+
+
+def _chunk_cells(
+    cells: Sequence[Tuple[int, str]], jobs: int
+) -> List[List[Tuple[int, str]]]:
+    """Split ``cells`` into at most ``2 * jobs`` contiguous chunks.
+
+    One pool task per *chunk* (instead of per cell) bounds the number of
+    pickle/unpickle round-trips at a small multiple of the worker count;
+    two chunks per worker leaves slack for uneven cell costs without
+    reintroducing per-cell dispatch overhead.  Chunks are contiguous, so
+    concatenating the chunk results preserves the serial cell order.
+    """
+    target = min(len(cells), max(1, jobs * 2))
+    base, extra = divmod(len(cells), target)
+    chunks: List[List[Tuple[int, str]]] = []
+    start = 0
+    for index in range(target):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(cells[start:start + size]))
+        start += size
+    return chunks
+
+
 def _pool_context():
     """Fork when the platform offers it (cheap, inherits warm trace
     caches copy-on-write); otherwise spawn."""
@@ -128,11 +180,17 @@ def run_cells(
 ) -> List[SimulationResult]:
     """Simulate ``(trace index, spec)`` cells, preserving input order.
 
-    ``jobs`` must already be resolved (>= 1).  Serial execution — used for
-    ``jobs=1`` or degenerate grids — runs in-process with no pool at all,
-    so single-job callers pay zero multiprocessing overhead.
+    ``jobs`` follows the :func:`resolve_jobs` convention: values ``<= 0``
+    are clamped to one worker per CPU, so pre-resolved and raw settings
+    behave identically.  Serial execution — ``jobs=1`` or degenerate
+    grids — runs in-process with no pool at all, so single-job callers
+    pay zero multiprocessing overhead.  Parallel dispatch ships one task
+    per contiguous *chunk* of cells (see :func:`_chunk_cells`), not one
+    per cell, and flattens the chunk results back into serial order.
     """
-    if jobs <= 1 or len(cells) <= 1:
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(cells) <= 1:
         for trace in traces:
             # Materialise hot columns once, outside any timing loops.
             trace.sim_columns()
@@ -141,15 +199,19 @@ def run_cells(
             for index, spec in cells
         ]
 
+    _warn_oversubscribed(jobs)
     descriptors = _describe_traces(traces)
-    chunksize = max(1, len(cells) // (jobs * 4))
+    chunks = _chunk_cells(cells, jobs)
     context = _pool_context()
     with context.Pool(
-        processes=min(jobs, len(cells)),
+        processes=min(jobs, len(chunks)),
         initializer=_init_worker,
         initargs=(descriptors,),
     ) as pool:
-        return pool.map(_run_cell, list(cells), chunksize)
+        results: List[SimulationResult] = []
+        for chunk_results in pool.map(_run_chunk, chunks):
+            results.extend(chunk_results)
+        return results
 
 
 def simulate_specs(

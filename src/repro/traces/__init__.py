@@ -1,5 +1,13 @@
-"""Trace substrate: trace types, statistics, I/O and synthesis."""
+"""Trace substrate: trace types, statistics, I/O, caching and synthesis."""
 
+from repro.traces.cache import (
+    cache_dir,
+    cache_stats,
+    config_fingerprint,
+    generate_trace_cached,
+    reset_cache_stats,
+    trace_cache_path,
+)
 from repro.traces.io import (
     load_trace,
     load_trace_text,
@@ -16,6 +24,12 @@ from repro.traces.stats import (
 from repro.traces.trace import BranchRecord, Trace
 
 __all__ = [
+    "cache_dir",
+    "cache_stats",
+    "config_fingerprint",
+    "generate_trace_cached",
+    "reset_cache_stats",
+    "trace_cache_path",
     "load_trace",
     "load_trace_text",
     "save_trace",

@@ -1,0 +1,185 @@
+"""Content-addressed on-disk cache of generated synthetic traces.
+
+Synthetic workload generation is deterministic — a
+:class:`~repro.traces.synthetic.generator.WorkloadConfig` fully
+determines its trace — but it runs the Python-level program executors
+and scheduler, which dominates experiment start-up time.  This module
+caches generated traces on disk, keyed by a SHA-256 fingerprint of the
+*complete* config (name, seed, length/scale, behaviour mix, scheduler —
+every shape parameter), so any config change produces a new cache entry
+and stale hits are impossible.
+
+Entries are stored in the existing ``.npz`` trace format
+(:mod:`repro.traces.io`), written atomically (temp file + ``os.replace``)
+so concurrent workers never observe half-written files.  A corrupt or
+unreadable entry is dropped and silently regenerated.
+
+The cache directory resolves, in order:
+
+1. the ``REPRO_TRACE_CACHE`` environment variable — a directory path,
+   or one of ``0`` / ``off`` / ``none`` / ``disabled`` to disable
+   caching entirely;
+2. ``$XDG_CACHE_HOME/repro/traces`` when ``XDG_CACHE_HOME`` is set;
+3. ``~/.cache/repro/traces``.
+
+Per-process counters (:func:`cache_stats`) let harnesses such as
+``tools/run_full_experiments.py`` report how many traces were served
+from disk versus regenerated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
+from repro.traces.trace import Trace
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "cache_dir",
+    "cache_stats",
+    "config_fingerprint",
+    "generate_trace_cached",
+    "reset_cache_stats",
+    "trace_cache_path",
+]
+
+#: Environment variable selecting (or disabling) the cache directory.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Env-var values (case-insensitive) that turn the cache off.
+_DISABLED_VALUES = frozenset({"0", "off", "none", "disabled"})
+
+#: Per-process counters; see :func:`cache_stats`.
+_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+
+def cache_dir() -> Optional[Path]:
+    """The active cache directory, or ``None`` when caching is disabled.
+
+    Resolution order: ``REPRO_TRACE_CACHE`` (path, or a disabling value —
+    see the module docstring), then ``$XDG_CACHE_HOME/repro/traces``,
+    then ``~/.cache/repro/traces``.  The directory is not created here;
+    :func:`generate_trace_cached` creates it lazily on first store.
+    """
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override is not None:
+        if override.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def _fingerprint_default(value: object) -> object:
+    """JSON fallback encoder: serialise plain objects via their attributes.
+
+    ``dataclasses.asdict`` recurses through dataclass fields but leaves
+    plain classes (notably ``BehaviorMix``) untouched; those are encoded
+    as their class name plus instance ``__dict__`` so every behaviour
+    parameter lands in the fingerprint.
+    """
+    if hasattr(value, "__dict__"):
+        return {"__class__": type(value).__name__, **vars(value)}
+    raise TypeError(
+        f"cannot fingerprint {type(value).__name__!r}"
+    )  # pragma: no cover - no such config field today
+
+
+def config_fingerprint(config: WorkloadConfig) -> str:
+    """Hex SHA-256 over the canonical JSON form of ``config``.
+
+    Two configs share a fingerprint iff every generation-relevant
+    parameter matches, so the fingerprint is a sound content address for
+    the deterministic generator's output.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config),
+        sort_keys=True,
+        default=_fingerprint_default,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _safe_name(name: str) -> str:
+    """A filesystem-safe rendering of a workload name (debugging aid)."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+def trace_cache_path(config: WorkloadConfig) -> Optional[Path]:
+    """The on-disk entry path for ``config``, or ``None`` when disabled.
+
+    The filename carries the workload name and length for humans plus
+    the fingerprint prefix for addressing; the fingerprint alone decides
+    identity.
+    """
+    directory = cache_dir()
+    if directory is None:
+        return None
+    digest = config_fingerprint(config)
+    stem = f"{_safe_name(config.name)}-L{config.length}-{digest[:20]}"
+    return directory / f"{stem}.npz"
+
+
+def generate_trace_cached(config: WorkloadConfig) -> Trace:
+    """Return the trace for ``config``, serving from the disk cache.
+
+    A hit loads the stored ``.npz``; a miss generates the trace and
+    stores it atomically.  Unreadable entries count as ``errors``, are
+    unlinked best-effort and fall back to regeneration, so a corrupt
+    cache can never poison results.  With caching disabled this is
+    exactly :func:`~repro.traces.synthetic.generator.generate_trace`.
+    """
+    path = trace_cache_path(config)
+    if path is None:
+        return generate_trace(config)
+
+    if path.exists():
+        try:
+            trace = load_trace(path)
+        except Exception:
+            _STATS["errors"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            _STATS["hits"] += 1
+            return trace
+
+    _STATS["misses"] += 1
+    trace = generate_trace(config)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # numpy appends ".npz" when the target lacks it, so keep the
+        # temp suffix; os.replace makes the publish atomic.
+        temp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
+        save_trace(trace, temp)
+        os.replace(temp, path)
+        _STATS["stores"] += 1
+    except OSError:
+        _STATS["errors"] += 1
+    return trace
+
+
+def cache_stats() -> Dict[str, int]:
+    """A copy of this process's cache counters.
+
+    ``hits``: traces loaded from disk; ``misses``: traces generated
+    because no entry existed; ``stores``: entries written; ``errors``:
+    unreadable entries dropped plus failed writes.
+    """
+    return dict(_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the per-process counters (tests and harnesses)."""
+    for key in _STATS:
+        _STATS[key] = 0

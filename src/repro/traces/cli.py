@@ -6,13 +6,18 @@ Usage (installed as ``repro-trace``):
     repro-trace info out.npz
     repro-trace convert out.npz out.txt
     repro-trace simulate out.npz gskew:3x1k:h8:partial gshare:4k:h8
+    repro-trace cache [--clear]
 
 ``generate`` synthesises an IBS-clone trace and caches it on disk;
 ``info`` prints Table-1/2-style statistics; ``convert`` transcodes
 between the binary (.npz) and text formats by extension; ``simulate``
 runs predictor specs over a cached trace, on the vectorized engine
 where one applies and optionally across worker processes
-(``--jobs N``; default from the ``REPRO_JOBS`` environment variable).
+(``--jobs N``; default from the ``REPRO_JOBS`` environment variable);
+``cache`` inspects (or clears) the content-addressed trace cache that
+every generation path writes through — directory from
+``$REPRO_TRACE_CACHE`` (``off`` disables), defaulting to
+``$XDG_CACHE_HOME/repro/traces``, i.e. ``~/.cache/repro/traces``.
 """
 
 from __future__ import annotations
@@ -125,10 +130,35 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.traces.cache import CACHE_ENV_VAR, cache_dir
+
+    directory = cache_dir()
+    if directory is None:
+        print(f"trace cache disabled (${CACHE_ENV_VAR})")
+        return 0
+    entries = sorted(directory.glob("*.npz")) if directory.is_dir() else []
+    total = sum(entry.stat().st_size for entry in entries)
+    print(f"trace cache: {directory}")
+    print(f"entries    : {len(entries)} ({total / 1e6:.1f} MB)")
+    if args.clear:
+        for entry in entries:
+            entry.unlink()
+        print(f"cleared    : {len(entries)} entries")
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point of the ``repro-trace`` command-line tool."""
     parser = argparse.ArgumentParser(
-        prog="repro-trace", description="Branch-trace tools."
+        prog="repro-trace",
+        description="Branch-trace tools.",
+        epilog=(
+            "Generated workloads are content-addressed and cached under "
+            "$REPRO_TRACE_CACHE (set it to 'off' to disable; default "
+            "$XDG_CACHE_HOME/repro/traces, i.e. ~/.cache/repro/traces); "
+            "see the 'cache' subcommand."
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -181,6 +211,14 @@ def main(argv=None) -> int:
     profile.add_argument("spec")
     profile.add_argument("--top", type=int, default=10)
     profile.set_defaults(handler=_cmd_profile)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the on-disk trace cache"
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached trace"
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.handler(args)

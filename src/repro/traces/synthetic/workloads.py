@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.traces.synthetic.behavior import BehaviorMix
-from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
+from repro.traces.synthetic.generator import WorkloadConfig
 from repro.traces.synthetic.kernel import SchedulerConfig
 from repro.traces.trace import Trace
 
@@ -286,6 +286,11 @@ def ibs_workload(name: str) -> WorkloadConfig:
 def ibs_trace(name: str, scale: float = 1.0) -> Trace:
     """Generate (and memoise) the trace of an IBS clone.
 
+    Generation goes through the content-addressed disk cache
+    (:mod:`repro.traces.cache`), so across processes and runs each
+    (config, scale) trace is synthesised exactly once; within a process
+    this memo avoids even the disk load.
+
     Args:
         name: benchmark name (see :data:`IBS_BENCHMARKS`).
         scale: dynamic-length multiplier; 1.0 is the default experiment
@@ -294,10 +299,12 @@ def ibs_trace(name: str, scale: float = 1.0) -> Trace:
     key = (name, scale)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
+        from repro.traces.cache import generate_trace_cached
+
         config = ibs_workload(name)
         if scale != 1.0:
             config = config.scaled(scale)
-        trace = generate_trace(config)
+        trace = generate_trace_cached(config)
         _TRACE_CACHE[key] = trace
     return trace
 

@@ -12,8 +12,10 @@ import os
 
 import pytest
 
+import repro.sim.parallel as parallel_module
 from repro.sim.parallel import (
     JOBS_ENV_VAR,
+    _chunk_cells,
     resolve_jobs,
     run_cells,
     simulate_specs,
@@ -63,6 +65,55 @@ class TestRunCells:
         results = simulate_specs(tiny_trace, specs, jobs=2)
         assert [r.predictor for r in results] == specs
         assert all(r.trace == tiny_trace.name for r in results)
+
+    def test_jobs_zero_clamps_to_cpu_count(self, tiny_trace):
+        cells = [(0, "bimodal:64"), (0, "gshare:64:h3")]
+        assert run_cells([tiny_trace], cells, jobs=0) == run_cells(
+            [tiny_trace], cells, jobs=1
+        )
+
+
+class TestChunking:
+    @pytest.mark.parametrize(
+        "cells,jobs", [(1, 4), (5, 2), (16, 3), (7, 16), (40, 4)]
+    )
+    def test_chunks_partition_cells_in_order(self, cells, jobs):
+        inputs = [(0, str(i)) for i in range(cells)]
+        chunks = _chunk_cells(inputs, jobs)
+        assert len(chunks) <= max(1, 2 * jobs)
+        assert all(chunks)  # no empty tasks shipped to workers
+        assert [cell for chunk in chunks for cell in chunk] == inputs
+
+    def test_chunk_count_bounded_by_workers_not_grid(self):
+        chunks = _chunk_cells([(0, str(i)) for i in range(500)], jobs=2)
+        assert len(chunks) == 4
+
+
+class TestOversubscriptionWarning:
+    @pytest.fixture(autouse=True)
+    def _reset_latch(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_module, "_WARNED_OVERSUBSCRIBED", False
+        )
+
+    def test_warns_once_when_jobs_exceed_cpus(self, tiny_trace):
+        jobs = (os.cpu_count() or 1) + 1
+        cells = [(0, "bimodal:64"), (0, "gshare:64:h3")]
+        with pytest.warns(RuntimeWarning, match="exceeds"):
+            run_cells([tiny_trace], cells, jobs=jobs)
+        # The latch suppresses repeats for the rest of the process.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_cells([tiny_trace], cells, jobs=jobs)
+
+    def test_serial_run_never_warns(self, tiny_trace):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_cells([tiny_trace], [(0, "bimodal:64")], jobs=1)
 
 
 class TestParallelSweeps:

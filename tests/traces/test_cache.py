@@ -1,0 +1,132 @@
+"""Tests for the content-addressed on-disk trace cache."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.traces.cache import (
+    CACHE_ENV_VAR,
+    cache_dir,
+    cache_stats,
+    config_fingerprint,
+    generate_trace_cached,
+    reset_cache_stats,
+    trace_cache_path,
+)
+from repro.traces.synthetic.behavior import BehaviorMix
+from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
+
+
+@pytest.fixture()
+def cache_in_tmp(tmp_path, monkeypatch):
+    """Point the cache at a fresh directory and zero the counters."""
+    monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+    reset_cache_stats()
+    yield tmp_path
+    reset_cache_stats()
+
+
+def _config(**overrides) -> WorkloadConfig:
+    defaults = dict(
+        name="cache-test",
+        seed=11,
+        length=3_000,
+        processes=1,
+        static_branches_per_process=60,
+        procedures_per_process=6,
+        kernel_static_branches=0,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+def _assert_traces_equal(a, b):
+    assert a.name == b.name and a.seed == b.seed
+    for column in ("pcs", "takens", "conditionals", "targets"):
+        assert np.array_equal(getattr(a, column), getattr(b, column))
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configs(self):
+        assert config_fingerprint(_config()) == config_fingerprint(_config())
+
+    def test_sensitive_to_every_layer(self):
+        base = config_fingerprint(_config())
+        assert config_fingerprint(_config(seed=12)) != base
+        assert config_fingerprint(_config(length=3_001)) != base
+        # Scale changes length, hence the fingerprint.
+        assert config_fingerprint(_config().scaled(0.5)) != base
+        # Nested non-dataclass (BehaviorMix) parameters count too.
+        tweaked = _config(mix=BehaviorMix(bias_strength=0.99))
+        assert config_fingerprint(tweaked) != base
+        # Nested dataclass (SchedulerConfig) parameters count too.
+        scheduler = dataclasses.replace(_config().scheduler, mean_quantum=99)
+        assert config_fingerprint(_config(scheduler=scheduler)) != base
+
+
+class TestCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert cache_dir() == tmp_path
+
+    @pytest.mark.parametrize("value", ["0", "off", "NONE", " disabled "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert cache_dir() is None
+        assert trace_cache_path(_config()) is None
+
+    def test_default_under_xdg_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert cache_dir() == tmp_path / "repro" / "traces"
+
+
+class TestGenerateTraceCached:
+    def test_miss_then_hit_round_trips_exactly(self, cache_in_tmp):
+        config = _config()
+        first = generate_trace_cached(config)
+        assert cache_stats() == {
+            "hits": 0, "misses": 1, "stores": 1, "errors": 0,
+        }
+        second = generate_trace_cached(config)
+        assert cache_stats()["hits"] == 1
+        _assert_traces_equal(first, second)
+        _assert_traces_equal(second, generate_trace(config))
+
+    def test_distinct_configs_get_distinct_entries(self, cache_in_tmp):
+        generate_trace_cached(_config())
+        generate_trace_cached(_config(seed=12))
+        assert cache_stats()["misses"] == 2
+        assert len(list(cache_in_tmp.glob("*.npz"))) == 2
+
+    def test_corrupt_entry_regenerates(self, cache_in_tmp):
+        config = _config()
+        expected = generate_trace_cached(config)
+        path = trace_cache_path(config)
+        path.write_bytes(path.read_bytes()[:32])  # truncate the npz
+        reloaded = generate_trace_cached(config)
+        _assert_traces_equal(reloaded, expected)
+        stats = cache_stats()
+        assert stats["errors"] == 1 and stats["misses"] == 2
+        # The corrupt file was replaced by a fresh, loadable entry.
+        assert cache_stats()["stores"] == 2
+        generate_trace_cached(config)
+        assert cache_stats()["hits"] == 1
+
+    def test_disabled_cache_writes_nothing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, "off")
+        reset_cache_stats()
+        trace = generate_trace_cached(_config())
+        _assert_traces_equal(trace, generate_trace(_config()))
+        assert cache_stats() == {
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+        }
+        assert not list(tmp_path.iterdir())
+
+    def test_no_temp_files_left_behind(self, cache_in_tmp):
+        generate_trace_cached(_config())
+        assert not list(cache_in_tmp.glob("*.tmp*"))
+        assert not list(cache_in_tmp.glob(".*"))

@@ -73,3 +73,32 @@ class TestSimulate:
         assert "bimodal:256" in out
         assert "gskew:3x128:h4:partial" in out
         assert "%" in out
+
+
+class TestCache:
+    def test_reports_directory_and_entries(self, tmp_path, monkeypatch, capsys):
+        from repro.traces.cache import CACHE_ENV_VAR, generate_trace_cached
+        from repro.traces.synthetic.workloads import ibs_workload
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        generate_trace_cached(ibs_workload("verilog").scaled(0.02))
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries    : 1" in out
+
+    def test_clear_empties_directory(self, tmp_path, monkeypatch, capsys):
+        from repro.traces.cache import CACHE_ENV_VAR, generate_trace_cached
+        from repro.traces.synthetic.workloads import ibs_workload
+
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        generate_trace_cached(ibs_workload("verilog").scaled(0.02))
+        assert main(["cache", "--clear"]) == 0
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_disabled_cache_reported(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        assert "disabled" in capsys.readouterr().out

@@ -9,7 +9,12 @@ Times, on one IBS-clone trace:
 2. **sweep** — wall-clock of a gshare/gskew size sweep run serially on
    the generic engine, serially on the vectorized engine (the
    single-process speedup), and through the multiprocessing runner at
-   each requested ``--jobs`` value.
+   each requested ``--jobs`` value;
+3. **aliasing** — wall-clock of the Figure-1-style 3Cs decomposition
+   over the full table-size grid: the streaming reference
+   (``measure_aliasing_reference`` once per size) vs the one-pass
+   vectorized engine (``measure_aliasing_sweep``), checking the
+   breakdowns are identical.
 
 The numbers land in ``BENCH_engine.json`` (repo root by default)
 together with ``cpu_count``, so parallel scaling figures can be read in
@@ -26,6 +31,8 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.aliasing.three_cs import measure_aliasing_reference
+from repro.aliasing.vectorized import measure_aliasing_sweep
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
 from repro.sim.parallel import run_cells
@@ -45,6 +52,10 @@ ENGINE_SPECS = [
 
 SWEEP_SIZES = [64, 256, "1k", "4k"]
 SWEEP_TEMPLATES = ("gshare:{size}:h8", "gskew:3x{size}:h8:partial")
+
+ALIASING_SIZES = [1 << n for n in range(5, 14)]  # the Figure 1/2 grid
+ALIASING_HISTORY_BITS = 4
+ALIASING_SCHEMES = ("gshare", "gselect")
 
 
 def _best_of(repeat, fn):
@@ -139,12 +150,50 @@ def bench_sweep(trace, jobs_values, repeat):
 
     return {
         "cells": len(cells),
+        "cpu_count": os.cpu_count(),
         "specs": [spec for _, spec in cells],
         "generic_serial_s": round(generic_s, 4),
         "vectorized_serial_s": round(vectorized_s, 4),
         "single_process_speedup": round(speedup, 2),
         "identical": actual == expected,
         "jobs": jobs_rows,
+    }
+
+
+def bench_aliasing(trace, repeat):
+    def reference_sweep():
+        return {
+            entries: measure_aliasing_reference(
+                trace, entries, ALIASING_HISTORY_BITS,
+                schemes=ALIASING_SCHEMES,
+            )
+            for entries in ALIASING_SIZES
+        }
+
+    reference_s, expected = _best_of(repeat, reference_sweep)
+    vectorized_s, actual = _best_of(
+        repeat,
+        lambda: measure_aliasing_sweep(
+            trace, ALIASING_SIZES, ALIASING_HISTORY_BITS,
+            schemes=ALIASING_SCHEMES,
+        ),
+    )
+    speedup = reference_s / vectorized_s
+    identical = actual == expected
+    print(
+        f"  {len(ALIASING_SIZES)}-size 3Cs sweep "
+        f"(h={ALIASING_HISTORY_BITS}, {'/'.join(ALIASING_SCHEMES)}): "
+        f"reference {reference_s:.3f}s, one-pass {vectorized_s:.3f}s "
+        f"-> x{speedup:.1f}  {'ok' if identical else 'MISMATCH'}"
+    )
+    return {
+        "sizes": ALIASING_SIZES,
+        "history_bits": ALIASING_HISTORY_BITS,
+        "schemes": list(ALIASING_SCHEMES),
+        "reference_s": round(reference_s, 4),
+        "vectorized_s": round(vectorized_s, 4),
+        "speedup": round(speedup, 2),
+        "identical": identical,
     }
 
 
@@ -174,6 +223,8 @@ def main() -> int:
     engine_rows = bench_engines(trace, args.repeat)
     print("sweep (serial vs parallel):")
     sweep = bench_sweep(trace, args.jobs, args.repeat)
+    print("aliasing (streaming reference vs one-pass vectorized):")
+    aliasing = bench_aliasing(trace, args.repeat)
 
     report = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -184,11 +235,16 @@ def main() -> int:
         "conditional_branches": trace.conditional_count,
         "engine": engine_rows,
         "sweep": sweep,
+        "aliasing": aliasing,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.out}")
 
-    ok = all(row["identical"] for row in engine_rows) and sweep["identical"]
+    ok = (
+        all(row["identical"] for row in engine_rows)
+        and sweep["identical"]
+        and aliasing["identical"]
+    )
     if not ok:
         print("ERROR: engines disagree; see the 'identical' fields")
     return 0 if ok else 1

@@ -16,6 +16,7 @@ import traceback
 from pathlib import Path
 
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.traces.cache import cache_stats
 
 OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
 
@@ -54,6 +55,12 @@ def main() -> int:
 
     total = time.time() - overall_started
     ok = len(names) - len(failures)
+    stats = cache_stats()
+    print(
+        f"trace cache: {stats['hits']} hits, "
+        f"{stats['misses']} regenerated, {stats['stores']} stored"
+        + (f", {stats['errors']} errors" if stats["errors"] else "")
+    )
     print(
         f"total: {total:.1f}s for {len(names)} experiments "
         f"({ok} ok, {len(failures)} failed"
