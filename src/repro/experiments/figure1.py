@@ -51,14 +51,18 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     history_bits: int = HISTORY_BITS,
+    jobs: Optional[int] = None,
 ) -> AliasingCurves:
     """Measure the three aliasing instruments over the size grid.
 
     Each trace takes a single pass: the one-pass vectorized engine
     (:func:`repro.aliasing.vectorized.measure_aliasing_sweep`) shares
     the pair stream and stack-distance profile across every size in the
-    grid instead of re-walking the trace per size.
+    grid instead of re-walking the trace per size.  ``jobs`` is part of
+    the uniform experiment contract; the one-pass engine is already a
+    single whole-trace computation, so it is accepted and unused.
     """
+    del jobs  # contract parameter; no per-cell fan-out to feed it to
     traces = load_benchmarks(benchmarks, scale)
     curves: Dict[str, Dict[str, List[float]]] = {}
     breakdowns: Dict[str, List[AliasingBreakdown]] = {}

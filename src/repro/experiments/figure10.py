@@ -14,9 +14,9 @@ render = figure9.render
 render_plot = figure9.render_plot
 
 
-def run() -> figure9.AnalyticalCurves:
+def run(jobs: "int | None" = None) -> figure9.AnalyticalCurves:
     """Run the experiment; see the module docstring for the design."""
-    return figure9.run(magnified=True)
+    return figure9.run(magnified=True, jobs=jobs)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

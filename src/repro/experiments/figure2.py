@@ -26,6 +26,7 @@ def run(
     scale: float = 1.0,
     benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
+    jobs: Optional[int] = None,
 ) -> figure1.AliasingCurves:
     """Run the experiment; see the module docstring for the design."""
     return figure1.run(
@@ -33,6 +34,7 @@ def run(
         benchmarks=benchmarks,
         sizes=sizes,
         history_bits=HISTORY_BITS,
+        jobs=jobs,
     )
 
 

@@ -43,8 +43,17 @@ def _indices(pair: Pair, index_bits: int, history_bits: int) -> Tuple[int, int]:
     )
 
 
-def run(index_bits: int = 4, history_bits: int = 2) -> Figure3Result:
-    """Search a small vector space for scheme-dependent conflicts."""
+def run(
+    index_bits: int = 4,
+    history_bits: int = 2,
+    jobs: "int | None" = None,
+) -> Figure3Result:
+    """Search a small vector space for scheme-dependent conflicts.
+
+    ``jobs`` is part of the uniform experiment contract; this pure-math
+    search has nothing to fan out, so it is accepted and unused.
+    """
+    del jobs  # contract parameter; nothing to parallelise
     candidates: List[Pair] = [
         (address << 2, history)
         for address in range(1 << (index_bits + 1))

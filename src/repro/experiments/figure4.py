@@ -76,8 +76,15 @@ def _describe_bcgskew(predictor: BcGskewPredictor, spec: str) -> Figure4Result:
     )
 
 
-def run(spec: str = "gskew:3x4k:h12:partial") -> Figure4Result:
-    """Describe the structure of the predictor named by ``spec``."""
+def run(
+    spec: str = "gskew:3x4k:h12:partial", jobs: "int | None" = None
+) -> Figure4Result:
+    """Describe the structure of the predictor named by ``spec``.
+
+    ``jobs`` is part of the uniform experiment contract; this structural
+    description runs no simulation, so it is accepted and unused.
+    """
+    del jobs  # contract parameter; nothing to parallelise
     predictor = make_predictor(spec)
     if isinstance(predictor, BcGskewPredictor):
         return _describe_bcgskew(predictor, spec)

@@ -34,12 +34,17 @@ class AnalyticalCurves:
     magnified: bool
 
 
-def run(magnified: bool = False) -> AnalyticalCurves:
+def run(
+    magnified: bool = False, jobs: "int | None" = None
+) -> AnalyticalCurves:
     """Tabulate P_dm and P_sk at b = 1/2.
 
     ``magnified=False`` is Figure 9 (full range); ``magnified=True`` is
-    Figure 10 (p in [0, 0.1]).
+    Figure 10 (p in [0, 0.1]).  ``jobs`` is part of the uniform
+    experiment contract; the closed-form model needs no fan-out, so it
+    is accepted and unused.
     """
+    del jobs  # contract parameter; nothing to parallelise
     grid = MAGNIFIED_RANGE if magnified else FULL_RANGE
     return AnalyticalCurves(
         probabilities=list(grid),

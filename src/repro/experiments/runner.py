@@ -171,18 +171,24 @@ def _main(argv=None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    # perf_counter is monotonic: wall-clock (time.time) steps under NTP
+    # adjustment and would misreport long sweep timings.
+    run_started = time.perf_counter()
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
-        started = time.time()
+        started = time.perf_counter()
         print(f"=== {name} ===")
         print(
             run_experiment(
                 name, scale=args.scale, plot=args.plot, jobs=args.jobs
             )
         )
-        print(f"--- {name} finished in {time.time() - started:.1f}s ---\n")
+        elapsed = time.perf_counter() - started
+        print(f"--- {name} finished in {elapsed:.1f}s ---\n")
+    total = time.perf_counter() - run_started
+    print(f"=== ran {len(names)} experiment(s) in {total:.1f}s ===")
     return 0
 
 

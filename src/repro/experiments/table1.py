@@ -46,9 +46,17 @@ class Table1Result:
 
 
 def run(
-    scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Table1Result:
-    """Compute Table 1 over the clone traces."""
+    """Compute Table 1 over the clone traces.
+
+    ``jobs`` is part of the uniform experiment contract; the counts are
+    single-pass numpy reductions per trace, so it is accepted and
+    unused.
+    """
+    del jobs  # contract parameter; nothing to parallelise
     traces = load_benchmarks(benchmarks, scale)
     return Table1Result(rows=[trace_counts(trace) for trace in traces])
 

@@ -72,8 +72,15 @@ def run(
     scale: float = 1.0,
     benchmarks: Optional[Sequence[str]] = None,
     history_lengths: Sequence[int] = (4, 12),
+    jobs: Optional[int] = None,
 ) -> Table2Result:
-    """Simulate the unaliased predictor for every (benchmark, history)."""
+    """Simulate the unaliased predictor for every (benchmark, history).
+
+    ``jobs`` is part of the uniform experiment contract; the unaliased
+    predictor is stateful per (trace, history) cell and the cell count
+    is small, so it is accepted and unused.
+    """
+    del jobs  # contract parameter; no sweep grid to fan out
     traces = load_benchmarks(benchmarks, scale)
     rows: List[Table2Row] = []
     for history_bits in history_lengths:

@@ -1,0 +1,109 @@
+"""Baseline-suppression file: grandfathered violations, tracked in git.
+
+A baseline entry suppresses one existing violation by fingerprint
+(rule + path + symbol + message — deliberately *not* the line number,
+so unrelated edits above a finding don't invalidate it).  New
+violations never match and still fail the run, which is what makes the
+CI gate "no *new* violations" rather than "zero violations ever".
+
+The file is plain JSON so diffs review well:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"rule": "R003", "path": "src/...", "symbol": "run",
+         "message": "..."}
+      ]
+    }
+
+Regenerate with ``repro-lint --write-baseline`` (see docs/linting.md).
+The acceptance policy for this repository: R001/R002 findings must be
+*fixed*, never baselined — the CLI refuses to write them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.engine import Violation
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "NEVER_BASELINED"]
+
+#: Default filename, resolved against the project root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+#: Rules whose findings must be fixed, not suppressed.
+NEVER_BASELINED = frozenset({"R001", "R002"})
+
+
+@dataclass
+class Baseline:
+    """An ordered set of suppression fingerprints."""
+
+    entries: List[dict] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return {
+            "::".join(
+                (
+                    entry.get("rule", ""),
+                    entry.get("path", ""),
+                    entry.get("symbol", ""),
+                    entry.get("message", ""),
+                )
+            )
+            for entry in self.entries
+        }
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        entries = [
+            {
+                "rule": violation.rule_id,
+                "path": violation.path,
+                "symbol": violation.symbol,
+                "message": violation.message,
+            }
+            for violation in violations
+        ]
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["symbol"]))
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "suppressions" not in payload:
+            raise ValueError(f"{path}: not a repro-lint baseline file")
+        entries = payload["suppressions"]
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: 'suppressions' must be a list")
+        return cls([dict(entry) for entry in entries])
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as JSON; refuses R001/R002 entries."""
+        blocked = sorted(
+            {
+                entry.get("rule", "")
+                for entry in self.entries
+                if entry.get("rule", "") in NEVER_BASELINED
+            }
+        )
+        if blocked:
+            raise ValueError(
+                f"refusing to baseline {', '.join(blocked)} findings; "
+                "determinism and bit-width violations must be fixed"
+            )
+        payload = {"version": 1, "suppressions": self.entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

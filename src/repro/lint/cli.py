@@ -1,0 +1,199 @@
+"""The ``repro-lint`` command-line front end.
+
+Usage::
+
+    repro-lint src/                       # human-readable report
+    repro-lint --format=json src/         # machine-readable (CI)
+    repro-lint --rule R004 --list src/    # terse per-violation lines
+    repro-lint --write-baseline src/      # grandfather current findings
+
+Exit status: 0 when clean (modulo pragmas and baseline), 1 when
+violations or parse errors remain, 2 on usage errors.  Also reachable
+as ``python -m repro.lint`` and ``python tools/lint.py`` (no install
+needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import LintReport, ProjectContext, lint_paths
+from repro.lint.rules import all_rules, select_rules
+
+__all__ = ["main"]
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [violation.render() for violation in report.violations]
+    lines.extend(f"{error}: parse error" for error in report.parse_errors)
+    summary = (
+        f"checked {report.checked_files} file(s): "
+        f"{len(report.violations)} violation(s)"
+    )
+    if report.suppressed:
+        summary += f", {len(report.suppressed)} baseline-suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(report: LintReport) -> str:
+    payload = {
+        "checked_files": report.checked_files,
+        "violations": [
+            {
+                "rule": violation.rule_id,
+                "path": violation.path,
+                "line": violation.line,
+                "symbol": violation.symbol,
+                "message": violation.message,
+            }
+            for violation in report.violations
+        ],
+        "suppressed": len(report.suppressed),
+        "parse_errors": report.parse_errors,
+        "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_list(report: LintReport) -> str:
+    return "\n".join(
+        f"{violation.rule_id}\t{violation.path}:{violation.line}\t"
+        f"{violation.symbol}\t{violation.message}"
+        for violation in report.violations
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-lint`` command-line tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism, bit-width and experiment-contract "
+            "checks for the repro codebase (rules R001-R005; see "
+            "docs/linting.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: ./src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only this rule id (repeatable), e.g. --rule R004",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "list"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="shorthand for --format=list",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline-suppression file "
+            f"(default: <project root>/{DEFAULT_BASELINE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "write the current findings to the baseline file and exit 0 "
+            "(R001/R002 findings are refused — fix those)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: discovered from the lint paths)",
+    )
+    args = parser.parse_args(argv)
+
+    paths: List[Path] = list(args.paths)
+    if not paths:
+        fallback = Path("src")
+        if not fallback.is_dir():
+            parser.error("no paths given and ./src does not exist")
+        paths = [fallback]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"path does not exist: {path}")
+
+    project = (
+        ProjectContext(args.root)
+        if args.root is not None
+        else ProjectContext.discover(paths[0])
+    )
+
+    try:
+        rules = select_rules(args.rule) if args.rule else all_rules()
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    baseline_path = args.baseline or project.root / DEFAULT_BASELINE_NAME
+    baseline = Baseline()
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(
+        paths,
+        rules,
+        project=project,
+        baseline_fingerprints=baseline.fingerprints,
+    )
+
+    if args.write_baseline:
+        try:
+            Baseline.from_violations(report.violations).save(baseline_path)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {len(report.violations)} suppression(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    output_format = "list" if args.list else args.format
+    if output_format == "json":
+        print(_render_json(report))
+    elif output_format == "list":
+        rendered = _render_list(report)
+        if rendered:
+            print(rendered)
+    else:
+        print(_render_text(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,455 @@
+"""R002 — bit-width safety in index/hash arithmetic.
+
+Predictor-table indexing is where silent bit-width bugs concentrate: an
+index function that forgets its final mask reads out of table bounds
+only for *some* (address, history) pairs, and a fold loop that shifts
+by a width parameter spins forever exactly at the degenerate width
+(the ``gshare_index`` ``index_bits=0`` bug this repository already
+shipped once).  Four sub-checks, all intra-procedural:
+
+``unmasked-return``
+    Functions that *look like* index/hash functions (name matches
+    ``*_index``, ``*_indices``, ``*_stream``, ``skew_f<N>``, ``*_hash``
+    / ``hash_*`` and a width parameter such as ``index_bits``/``n`` is
+    present) must return expressions masked to table width.  Masking is
+    tracked structurally: ``x & mask``, ``x % size``, XOR/OR of masked
+    values, shifts of masked values, delegation to another call, and
+    names assigned from such expressions all count.
+
+``shift-by-param-loop``
+    Inside a ``while`` loop, ``x >>= p`` / ``x <<= p`` (or the
+    ``x = x >> p`` spelling) where ``p`` is a function parameter — also
+    through a ``np.uint64(p)`` cast or local alias — requires a guard
+    comparing ``p`` against 0 or 1 somewhere in the function; shifting
+    by zero never advances the loop.
+
+``div-by-param``
+    ``% p`` / ``// p`` by a never-reassigned parameter requires the
+    same zero guard.
+
+``numpy-shift-cast``
+    In numpy code, shifting an unsigned-array expression by an un-cast
+    *dynamic* amount (a plain variable) is flagged: under NEP 50 a
+    signed or out-of-range operand raises only at runtime, and this
+    codebase's convention is an explicit ``np.uint64(...)`` on every
+    dynamic shift amount.  Integer literals are exempt (value-checked
+    statically by numpy).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
+from repro.lint.rules._ast_util import (
+    dotted_name,
+    function_params,
+    import_aliases,
+    int_constant,
+    walk_functions,
+)
+
+__all__ = ["BitWidthRule"]
+
+#: Function names treated as index/hash producers.
+_INDEX_NAME = re.compile(
+    r"(_index$|_indices$|_stream$|^skew_f\d+$|_hash$|^hash_)"
+)
+
+#: Parameters interpreted as a table/index width.
+_WIDTH_PARAMS = frozenset({"index_bits", "n", "bits", "width", "table_bits"})
+
+#: numpy unsigned scalar constructors (alias-resolved dotted names).
+_UNSIGNED_CASTS = frozenset(
+    {f"numpy.uint{w}" for w in (8, 16, 32, 64)}
+)
+
+#: numpy array constructors whose dtype= keyword decides signedness.
+_ARRAY_CTORS = frozenset(
+    {
+        "numpy.array",
+        "numpy.arange",
+        "numpy.asarray",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.zeros",
+    }
+)
+
+#: Constructors inheriting signedness from their first argument.
+_LIKE_CTORS = frozenset(
+    {"numpy.empty_like", "numpy.full_like", "numpy.zeros_like", "numpy.sort"}
+)
+
+_SHIFT_OPS = (ast.LShift, ast.RShift)
+
+
+def _guarded_params(fn: ast.FunctionDef, params: Set[str]) -> Set[str]:
+    """Parameters compared against 0/1 anywhere in the function.
+
+    Any ``if``/``assert``/``while`` test (or boolean operand of one)
+    comparing the parameter with the constants 0 or 1 counts as a
+    degenerate-width guard; so does a ``raise`` under such a test.
+    This is deliberately permissive — the rule hunts missing guards,
+    not misplaced ones.
+    """
+    guarded: Set[str] = set()
+    tests: List[ast.AST] = []
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.If, ast.While)):
+            tests.append(node.test)
+        elif isinstance(node, ast.Assert):
+            tests.append(node.test)
+    for test in tests:
+        for compare in ast.walk(test):
+            if not isinstance(compare, ast.Compare):
+                continue
+            operands = [compare.left, *compare.comparators]
+            names = {
+                op.id for op in operands if isinstance(op, ast.Name)
+            } & params
+            constants = {
+                int_constant(op)
+                for op in operands
+                if int_constant(op) is not None
+            }
+            if names and constants & {0, 1}:
+                guarded |= names
+    return guarded
+
+
+def _param_aliases(
+    fn: ast.FunctionDef, params: Set[str], np_aliases: Dict[str, str]
+) -> Dict[str, str]:
+    """Local names that are straight (possibly cast) copies of a param."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) and len(value.args) == 1:
+            callee = dotted_name(value.func) or ""
+            head = callee.split(".")[0]
+            callee = callee.replace(head, np_aliases.get(head, head), 1)
+            if callee in _UNSIGNED_CASTS | {"int"}:
+                value = value.args[0]
+        if isinstance(value, ast.Name) and value.id in params:
+            aliases[target.id] = value.id
+    return aliases
+
+
+def _resolve_param(
+    node: ast.AST,
+    params: Set[str],
+    aliases: Dict[str, str],
+    np_aliases: Dict[str, str],
+) -> Optional[str]:
+    """The parameter a shift/modulo operand boils down to, if any."""
+    if isinstance(node, ast.Call) and len(node.args) == 1:
+        callee = dotted_name(node.func) or ""
+        head = callee.split(".")[0]
+        callee = callee.replace(head, np_aliases.get(head, head), 1)
+        if callee in _UNSIGNED_CASTS | {"int"}:
+            node = node.args[0]
+    if isinstance(node, ast.Name):
+        if node.id in params:
+            return node.id
+        return aliases.get(node.id)
+    return None
+
+
+class _MaskTracker:
+    """Structural 'is this expression masked to table width' analysis."""
+
+    def __init__(self) -> None:
+        self.masked_names: Set[str] = set()
+
+    def settle(self, fn: ast.FunctionDef) -> None:
+        # Two passes reach a fixpoint for straight-line reassignment
+        # chains; loops that *unmask* a name are not representable in
+        # this lattice anyway (masking is monotone here).
+        for _ in range(2):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    if self.is_masked(node.value):
+                        for target in node.targets:
+                            for name in ast.walk(target):
+                                if isinstance(name, ast.Name):
+                                    self.masked_names.add(name.id)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    name = node.target.id
+                    if isinstance(node.op, (ast.BitAnd, ast.Mod)):
+                        self.masked_names.add(name)
+                    elif isinstance(
+                        node.op, (ast.BitOr, ast.BitXor, *_SHIFT_OPS)
+                    ):
+                        if name in self.masked_names and (
+                            isinstance(node.op, _SHIFT_OPS)
+                            or self.is_masked(node.value)
+                        ):
+                            self.masked_names.add(name)
+
+    def is_masked(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int)
+        if isinstance(node, ast.Name):
+            return node.id in self.masked_names
+        if isinstance(node, ast.Call):
+            return True  # delegation: the callee is checked on its own
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.BitAnd, ast.Mod)):
+                return True
+            if isinstance(node.op, (ast.BitOr, ast.BitXor)):
+                return self.is_masked(node.left) and self.is_masked(node.right)
+            if isinstance(node.op, _SHIFT_OPS):
+                return self.is_masked(node.left)
+            return False
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return all(self.is_masked(element) for element in node.elts)
+        if isinstance(node, ast.IfExp):
+            return self.is_masked(node.body) and self.is_masked(node.orelse)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_masked(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self.is_masked(node.value)
+        return False
+
+
+class _UnsignedTaint:
+    """Names/expressions statically known to be unsigned numpy data."""
+
+    def __init__(self, np_aliases: Dict[str, str]) -> None:
+        self.np_aliases = np_aliases
+        self.names: Set[str] = set()
+
+    def _callee(self, call: ast.Call) -> str:
+        name = dotted_name(call.func) or ""
+        head = name.split(".")[0]
+        return name.replace(head, self.np_aliases.get(head, head), 1)
+
+    def settle(self, fn: ast.FunctionDef) -> None:
+        for _ in range(3):
+            for node in ast.walk(fn):
+                targets: List[ast.Name] = []
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets = [
+                        t for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    value = node.value
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    targets = [node.target]
+                    value = node.value
+                    if node.target.id in self.names:
+                        continue
+                if value is not None and self.is_unsigned(value):
+                    self.names.update(t.id for t in targets)
+
+    def is_unsigned(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            callee = self._callee(node)
+            if callee in _UNSIGNED_CASTS:
+                return True
+            if callee in _ARRAY_CTORS:
+                for kw in node.keywords:
+                    if kw.arg == "dtype" and self._is_unsigned_dtype(kw.value):
+                        return True
+                return False
+            if callee in _LIKE_CTORS and node.args:
+                return self.is_unsigned(node.args[0])
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "astype" and node.args:
+                    return self._is_unsigned_dtype(node.args[0])
+                # Method on unsigned data (``.copy()``, slicing helpers)
+                # keeps the dtype.
+                return self.is_unsigned(func.value)
+            return False
+        if isinstance(node, ast.BinOp):
+            return self.is_unsigned(node.left) or self.is_unsigned(node.right)
+        if isinstance(node, (ast.Subscript, ast.Attribute)):
+            return isinstance(node, ast.Subscript) and self.is_unsigned(
+                node.value
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self.is_unsigned(node.operand)
+        return False
+
+    def _is_unsigned_dtype(self, node: ast.AST) -> bool:
+        name = dotted_name(node) or ""
+        head = name.split(".")[0]
+        name = name.replace(head, self.np_aliases.get(head, head), 1)
+        return name in _UNSIGNED_CASTS or name.strip("'\"") in {
+            f"uint{w}" for w in (8, 16, 32, 64)
+        }
+
+
+class BitWidthRule(Rule):
+    """R002: the four bit-width sub-checks described in the module doc."""
+
+    rule_id = "R002"
+    name = "bit-width"
+    description = (
+        "index/hash functions must mask to table width, guard degenerate "
+        "widths, and cast dynamic numpy shift amounts"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        uses_numpy = any(v == "numpy" or v.startswith("numpy.") for v in aliases.values())
+        for qualname, fn in walk_functions(ctx.tree):
+            params = set(function_params(fn))
+            guarded = _guarded_params(fn, params)
+            local_aliases = _param_aliases(fn, params, aliases)
+            yield from self._check_loops_and_division(
+                ctx, fn, qualname, params, guarded, local_aliases, aliases
+            )
+            if _INDEX_NAME.search(fn.name) and params & _WIDTH_PARAMS:
+                yield from self._check_masked_returns(ctx, fn, qualname)
+            if uses_numpy:
+                yield from self._check_numpy_shifts(ctx, fn, qualname, aliases)
+
+    # -- unmasked-return ----------------------------------------------
+
+    def _check_masked_returns(
+        self, ctx: FileContext, fn: ast.FunctionDef, qualname: str
+    ) -> Iterator[Violation]:
+        tracker = _MaskTracker()
+        tracker.settle(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not tracker.is_masked(node.value):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        qualname,
+                        "index/hash function returns a value not masked to "
+                        "table width (expected a final '& mask' or "
+                        "equivalent)",
+                    )
+
+    # -- degenerate-width loops and division --------------------------
+
+    def _check_loops_and_division(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        qualname: str,
+        params: Set[str],
+        guarded: Set[str],
+        local_aliases: Dict[str, str],
+        np_aliases: Dict[str, str],
+    ) -> Iterator[Violation]:
+        reassigned: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            reassigned.add(sub.id)
+
+        for loop in ast.walk(fn):
+            if not isinstance(loop, ast.While):
+                continue
+            for node in ast.walk(loop):
+                shift_amount: Optional[ast.AST] = None
+                if isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, _SHIFT_OPS
+                ):
+                    shift_amount = node.value
+                elif (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.BinOp)
+                    and isinstance(node.value.op, _SHIFT_OPS)
+                ):
+                    shift_amount = node.value.right
+                if shift_amount is None:
+                    continue
+                param = _resolve_param(
+                    shift_amount, params, local_aliases, np_aliases
+                )
+                if param is not None and param not in guarded:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        qualname,
+                        f"while-loop shifts by parameter '{param}' with no "
+                        f"guard against {param} == 0 (the loop never "
+                        "terminates at zero width)",
+                    )
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mod, ast.FloorDiv)
+            ):
+                param = _resolve_param(
+                    node.right, params, local_aliases, np_aliases
+                )
+                if (
+                    param is not None
+                    and param not in guarded
+                    and param not in reassigned
+                ):
+                    op = "%" if isinstance(node.op, ast.Mod) else "//"
+                    yield self.violation(
+                        ctx,
+                        node,
+                        qualname,
+                        f"'{op} {param}' divides by a parameter with no "
+                        f"guard against {param} == 0",
+                    )
+
+    # -- numpy shift casting ------------------------------------------
+
+    def _check_numpy_shifts(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        qualname: str,
+        np_aliases: Dict[str, str],
+    ) -> Iterator[Violation]:
+        taint = _UnsignedTaint(np_aliases)
+        taint.settle(fn)
+        for node in ast.walk(fn):
+            left: Optional[ast.AST] = None
+            right: Optional[ast.AST] = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _SHIFT_OPS):
+                left, right = node.left, node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _SHIFT_OPS
+            ):
+                left, right = node.target, node.value
+            if left is None or right is None:
+                continue
+            if not taint.is_unsigned(left):
+                continue
+            if int_constant(right) is not None:
+                continue  # literals are value-checked by numpy statically
+            if taint.is_unsigned(right):
+                continue
+            amount = dotted_name(right) or ast.dump(right)
+            yield self.violation(
+                ctx,
+                node,
+                qualname,
+                f"unsigned numpy array shifted by un-cast dynamic amount "
+                f"'{amount}'; wrap it in np.uint64(...)",
+            )

@@ -1,0 +1,196 @@
+"""R005 — cache-key completeness for the content-addressed trace cache.
+
+``traces/cache.py`` addresses cached traces by a SHA-256 fingerprint of
+the :class:`WorkloadConfig`; the soundness claim is "two configs share
+a fingerprint iff the generator would produce the same trace".  That
+breaks in two ways this rule closes off statically:
+
+- generation code reads an attribute off a config object that is *not*
+  a declared ``WorkloadConfig`` field (for example a value monkey-
+  patched onto the instance) — the attribute influences the trace but
+  never reaches the fingerprint;
+- the fingerprint stops covering every declared field (someone swaps
+  ``dataclasses.asdict(config)`` for a hand-picked dict and forgets a
+  field).
+
+The rule parses the ``WorkloadConfig`` dataclass out of
+``traces/synthetic/generator.py``, determines the fingerprinted field
+set from ``config_fingerprint`` in ``traces/cache.py`` (``asdict`` on
+the whole config means *all declared fields*), and then checks every
+attribute read on config-typed values (parameters annotated
+``WorkloadConfig`` plus ``self`` inside the class) across
+``traces/synthetic/`` and ``traces/cache.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
+from repro.lint.rules._ast_util import dotted_name, walk_functions
+
+__all__ = ["CacheKeyRule"]
+
+_CONFIG_CLASS = "WorkloadConfig"
+_GENERATOR_REL = "repro/traces/synthetic/generator.py"
+_CACHE_REL = "repro/traces/cache.py"
+
+#: Attributes every object has; never fingerprint-relevant.
+_ALWAYS_OK = frozenset({"__class__", "__dict__", "__dataclass_fields__"})
+
+
+def _config_class_info(
+    project: ProjectContext,
+) -> Optional[Tuple[Set[str], Set[str]]]:
+    """(declared fields, methods/properties) of WorkloadConfig."""
+    tree = project.parse(project.src_root / _GENERATOR_REL)
+    if tree is None:
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS:
+            fields: Set[str] = set()
+            methods: Set[str] = set()
+            for statement in node.body:
+                if isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    fields.add(statement.target.id)
+                elif isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    methods.add(statement.name)
+            return fields, methods
+    return None
+
+
+def _fingerprinted_fields(project: ProjectContext) -> Optional[Set[str]]:
+    """Fields covered by config_fingerprint; ``None`` means *all*."""
+    tree = project.parse(project.src_root / _CACHE_REL)
+    if tree is None:
+        return set()
+    for qualname, fn in walk_functions(tree):
+        if fn.name != "config_fingerprint":
+            continue
+        config_params = {
+            arg.arg
+            for arg in fn.args.args + fn.args.posonlyargs + fn.args.kwonlyargs
+        }
+        covered: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func) or ""
+                if callee.split(".")[-1] == "asdict" and node.args:
+                    arg = node.args[0]
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in config_params
+                    ):
+                        return None  # asdict(config): every field covered
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id in config_params:
+                    covered.add(node.attr)
+            elif isinstance(node, ast.Dict):
+                covered |= {
+                    key.value
+                    for key in node.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                }
+        return covered
+    return set()
+
+
+def _config_typed_params(fn: ast.FunctionDef) -> Set[str]:
+    """Parameter names annotated as WorkloadConfig (incl. string form)."""
+    names: Set[str] = set()
+    for arg in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs:
+        annotation = arg.annotation
+        if annotation is None:
+            continue
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            text = annotation.value
+        else:
+            text = dotted_name(annotation) or ""
+        if text.split(".")[-1].strip("\"'") == _CONFIG_CLASS:
+            names.add(arg.arg)
+    return names
+
+
+class CacheKeyRule(Rule):
+    """R005: cache-key completeness for WorkloadConfig (module doc)."""
+
+    rule_id = "R005"
+    name = "cache-key"
+    description = (
+        "WorkloadConfig attributes read by generation code must be "
+        "declared fields covered by the trace-cache fingerprint"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            "traces/synthetic/" in ctx.rel_path
+            or ctx.rel_path.endswith("traces/cache.py")
+        )
+
+    def check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Violation]:
+        info = _config_class_info(project)
+        if info is None:
+            return
+        fields, methods = info
+        known = fields | methods | _ALWAYS_OK
+        fingerprinted = _fingerprinted_fields(project)
+
+        if ctx.rel_path.endswith("traces/cache.py") and fingerprinted is not None:
+            missing = sorted(fields - fingerprinted)
+            if missing:
+                yield self.violation(
+                    ctx,
+                    ctx.tree,
+                    "config_fingerprint",
+                    "fingerprint does not cover declared WorkloadConfig "
+                    f"field(s): {', '.join(missing)}",
+                )
+
+        for qualname, fn in walk_functions(ctx.tree):
+            config_names = _config_typed_params(fn)
+            if qualname.startswith(f"{_CONFIG_CLASS}."):
+                config_names = config_names | {"self"}
+            if not config_names:
+                continue
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in config_names
+                ):
+                    continue
+                attribute = node.attr
+                if attribute in known:
+                    if (
+                        fingerprinted is not None
+                        and attribute in fields
+                        and attribute not in fingerprinted
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            qualname,
+                            f"reads config.{attribute}, which the trace-"
+                            "cache fingerprint does not cover",
+                        )
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    qualname,
+                    f"reads config.{attribute}, which is not a declared "
+                    f"{_CONFIG_CLASS} field — it can influence generation "
+                    "without reaching the cache fingerprint",
+                )

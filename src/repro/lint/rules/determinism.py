@@ -1,0 +1,146 @@
+"""R001 — determinism: no global-state or unseeded randomness in src/.
+
+Every trace, sweep and bootstrap in this repository must be a pure
+function of explicit seeds; that is what makes "same config, byte-
+identical output" a checkable claim rather than a hope.  This rule
+flags the ways that property silently leaks:
+
+- calls to the module-level ``random.*`` API (``random.random()``,
+  ``random.shuffle()``, ...) — these share interpreter-global state
+  across call sites and processes;
+- calls to the legacy global numpy API (``np.random.seed()``,
+  ``np.random.randint()``, ...);
+- RNG constructions without an explicit seed: ``random.Random()``,
+  ``np.random.default_rng()``, ``np.random.RandomState()``.
+
+``random.Random(seed)`` / ``default_rng(seed)`` threaded through the
+call tree is the sanctioned pattern (see ``traces/synthetic/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    enclosing_symbols,
+)
+from repro.lint.rules._ast_util import import_aliases, resolve_call_target
+
+__all__ = ["DeterminismRule"]
+
+#: ``random`` module functions that mutate/consume the global RNG.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Legacy global-state numpy.random functions.
+_GLOBAL_NP_RANDOM = frozenset(
+    {
+        "bytes",
+        "choice",
+        "normal",
+        "permutation",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Constructors that require an explicit seed argument.
+_SEED_REQUIRED = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",  # Generator(BitGenerator()) counts as seeded
+    }
+)
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in call.keywords)
+
+
+class DeterminismRule(Rule):
+    """R001: flag global-state and unseeded randomness (module doc)."""
+
+    rule_id = "R001"
+    name = "determinism"
+    description = (
+        "randomness must flow through explicitly-seeded RNG objects; "
+        "global random/np.random state is forbidden"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            symbol = symbols.get(node.lineno, "")
+            head, _, tail = target.rpartition(".")
+            if head == "random" and tail in _GLOBAL_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    symbol,
+                    f"global-state call random.{tail}(); use an explicit "
+                    "random.Random(seed) instance instead",
+                )
+            elif head == "numpy.random" and tail in _GLOBAL_NP_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    symbol,
+                    f"global-state call np.random.{tail}(); use "
+                    "np.random.default_rng(seed) instead",
+                )
+            elif target in _SEED_REQUIRED and not _has_seed_argument(node):
+                short = target.replace("numpy.", "np.")
+                yield self.violation(
+                    ctx,
+                    node,
+                    symbol,
+                    f"{short}() constructed without an explicit seed; "
+                    "deterministic code must pass one",
+                )

@@ -171,6 +171,8 @@ def crossover_distance(
     ``P_sk(p_{N/M}(D)) <= P_dm(p_N(D))``.  The paper reports this is
     approximately ``N / 10`` for M = 3, b = 1/2 — asserted by a test.
     """
+    if banks < 1:
+        raise ValueError(f"bank count must be >= 1, got {banks}")
     if entries_direct_mapped < banks:
         raise ValueError(
             "direct-mapped table must have at least one entry per bank"

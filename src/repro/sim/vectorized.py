@@ -124,7 +124,10 @@ def _gshare_stream(
 ) -> np.ndarray:
     mask = np.uint64((1 << index_bits) - 1)
     pc = words & mask
-    if history_bits == 0:
+    if history_bits == 0 or index_bits == 0:
+        # A 1-entry table has a single index; bailing here also keeps
+        # the fold loop below well-defined (its shift is index_bits) —
+        # same guard as the scalar gshare_index.
         return pc
     if history_bits <= index_bits:
         return pc ^ ((hist << np.uint64(index_bits - history_bits)) & mask)
@@ -145,7 +148,8 @@ def _gselect_stream(
     if history_bits >= index_bits:
         return hist & mask
     address_part = words & np.uint64((1 << (index_bits - history_bits)) - 1)
-    return (address_part << np.uint64(history_bits)) | hist
+    history_part = hist & np.uint64((1 << history_bits) - 1)
+    return (address_part << np.uint64(history_bits)) | history_part
 
 
 def _egskew_bank0_stream(

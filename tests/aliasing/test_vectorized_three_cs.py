@@ -18,13 +18,17 @@ from repro.aliasing.distance import LastUseDistanceTracker
 from repro.aliasing.three_cs import (
     measure_aliasing,
     measure_aliasing_reference,
+    pair_index_fn,
     pair_stream,
 )
 from repro.aliasing.vectorized import (
     last_use_distances,
     measure_aliasing_sweep,
     measure_aliasing_vectorized,
+    pair_columns,
+    pair_keys,
     pair_last_use_distances,
+    scheme_indices,
     supports,
 )
 from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
@@ -38,6 +42,85 @@ SCHEMES = ("gshare", "gselect")
 
 def _empty_trace() -> Trace:
     return Trace.from_records([], name="empty")
+
+
+class TestPairStreamEquivalence:
+    @pytest.mark.parametrize("history_bits", [0, 1, 6, 20])
+    def test_pair_columns_matches_pair_stream(
+        self, small_trace, history_bits
+    ):
+        words, histories = pair_columns(small_trace, history_bits)
+        expected = list(pair_stream(small_trace, history_bits))
+        assert len(words) == len(histories) == len(expected)
+        actual = list(zip((int(w) for w in words), (int(h) for h in histories)))
+        assert actual == expected
+
+    def test_pair_columns_rejects_unsupported_history(self, tiny_trace):
+        with pytest.raises(ValueError):
+            pair_columns(tiny_trace, 64)
+
+    def test_pair_columns_empty_trace(self):
+        words, histories = pair_columns(_empty_trace(), 4)
+        assert len(words) == 0 and len(histories) == 0
+
+    @pytest.mark.parametrize("history_bits", [0, 6])
+    def test_pair_keys_factorisation(self, small_trace, history_bits):
+        # Contract: equal keys exactly where the (word, history) pairs
+        # are equal — the only property the distance/tag instruments use.
+        words, histories = pair_columns(small_trace, history_bits)
+        keys = pair_keys(words, histories, history_bits)
+        pairs = list(zip(words.tolist(), histories.tolist()))
+        by_pair = {}
+        for pair, key in zip(pairs, keys.tolist()):
+            by_pair.setdefault(pair, set()).add(key)
+        assert all(len(ks) == 1 for ks in by_pair.values())
+        assert len({ks.pop() for ks in by_pair.values()}) == len(by_pair)
+
+    def test_pair_keys_packing_fast_path(self):
+        words = np.array([3, 3, 7], dtype=np.uint64)
+        histories = np.array([1, 2, 1], dtype=np.uint64)
+        keys = pair_keys(words, histories, history_bits=4)
+        assert keys.tolist() == [(3 << 4) | 1, (3 << 4) | 2, (7 << 4) | 1]
+
+    def test_pair_keys_rank_compression_fallback(self):
+        # A word address too large for the shift packing forces the
+        # rank-compression path; factorisation must still be exact.
+        words = np.array(
+            [1 << 62, 5, 1 << 62, 5, 9], dtype=np.uint64
+        )
+        histories = np.array([1, 2, 1, 3, 2], dtype=np.uint64)
+        keys = pair_keys(words, histories, history_bits=4)
+        assert keys[0] == keys[2]
+        distinct = {(int(w), int(h)) for w, h in zip(words, histories)}
+        assert len(set(keys.tolist())) == len(distinct)
+
+
+class TestSchemeIndexEquivalence:
+    @pytest.mark.parametrize("scheme", ("gshare", "gselect", "bimodal"))
+    @pytest.mark.parametrize("index_bits", [0, 3, 7])
+    @pytest.mark.parametrize("history_bits", [0, 4, 10])
+    def test_matches_scalar_index_fn(
+        self, small_trace, scheme, index_bits, history_bits
+    ):
+        # Covers both gshare folding regimes (history_bits <=/> index
+        # bits), both gselect regimes, and the index_bits = 0 corner that
+        # once hung the scalar engine.
+        words, histories = pair_columns(small_trace, history_bits)
+        vectorized = scheme_indices(
+            scheme, words, histories, index_bits, history_bits
+        )
+        reference = pair_index_fn(scheme, index_bits, history_bits)
+        expected = [
+            reference((int(w), int(h))) for w, h in zip(words, histories)
+        ]
+        assert vectorized.tolist() == expected
+
+    def test_unknown_scheme_rejected(self, tiny_trace):
+        words, histories = pair_columns(tiny_trace, 4)
+        with pytest.raises(ValueError):
+            scheme_indices("perceptron", words, histories, 5, 4)
+        with pytest.raises(ValueError):
+            scheme_indices("perceptron", words, histories, 5, 0)
 
 
 class TestDistanceEquivalence:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import claims
-from tests.conftest import TEST_SCALE
 
 
 @pytest.fixture(scope="module")

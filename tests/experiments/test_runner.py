@@ -69,6 +69,11 @@ class TestCli:
         assert "=== figure10 ===" in out
         assert "P_sk" in out
 
+    def test_run_summary_line(self, capsys):
+        assert main(["figure9", "figure10"]) == 0
+        out = capsys.readouterr().out
+        assert "=== ran 2 experiment(s) in " in out
+
     def test_scale_flag(self, capsys):
         assert main(["table1", "--scale", "0.05"]) == 0
         assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""CLI behavior of ``repro-lint`` (exit codes, formats, baseline flags)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME
+from repro.lint.cli import main
+
+BAD_RNG = """
+import random
+
+def bad():
+    return random.random()
+"""
+
+
+def _write_bad_project(project):
+    project.write("src/repro/bad.py", BAD_RNG)
+
+
+def _run(project, *argv):
+    return main([*argv, "--root", str(project.root), str(project.root / "src")])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        project.write("src/repro/ok.py", "X = 1\n")
+        assert _run(project) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, project, capsys):
+        _write_bad_project(project)
+        assert _run(project) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad.py" in out
+
+    def test_missing_path_is_usage_error(self, project, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(project.root / "nowhere")])
+        assert excinfo.value.code == 2
+
+
+class TestFormats:
+    def test_json_format(self, project, capsys):
+        _write_bad_project(project)
+        assert _run(project, "--format=json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["checked_files"] == 1
+        [violation] = payload["violations"]
+        assert violation["rule"] == "R001"
+        assert violation["path"] == "src/repro/bad.py"
+        assert violation["symbol"] == "bad"
+
+    def test_list_format(self, project, capsys):
+        _write_bad_project(project)
+        assert _run(project, "--list") == 1
+        line = capsys.readouterr().out.strip()
+        rule, location, symbol, _message = line.split("\t")
+        assert rule == "R001"
+        assert location.startswith("src/repro/bad.py:")
+        assert symbol == "bad"
+
+
+class TestRuleSelection:
+    def test_rule_filter_skips_other_rules(self, project):
+        _write_bad_project(project)
+        assert _run(project, "--rule", "R003") == 0
+        assert _run(project, "--rule", "R001") == 1
+
+    def test_unknown_rule_is_usage_error(self, project):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            _run(project, "--rule", "R999")
+        assert excinfo.value.code == 2
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_clean_run(self, project, capsys):
+        project.write("src/repro/experiments/runner.py", "EXPERIMENTS = {}\n")
+        project.write(
+            "src/repro/experiments/figure1.py",
+            "def run(scale=1.0):\n    return scale\n",
+        )
+        assert _run(project, "--rule", "R003") == 1
+        capsys.readouterr()
+
+        assert _run(project, "--rule", "R003", "--write-baseline") == 0
+        assert "suppression(s)" in capsys.readouterr().out
+        assert (project.root / DEFAULT_BASELINE_NAME).exists()
+
+        assert _run(project, "--rule", "R003") == 0
+        assert "baseline-suppressed" in capsys.readouterr().out
+
+        # --no-baseline brings the findings back.
+        assert _run(project, "--rule", "R003", "--no-baseline") == 1
+
+    def test_write_baseline_refuses_determinism_findings(
+        self, project, capsys
+    ):
+        _write_bad_project(project)
+        assert _run(project, "--write-baseline") == 1
+        assert "refusing to baseline" in capsys.readouterr().err
+        assert not (project.root / DEFAULT_BASELINE_NAME).exists()

@@ -1,0 +1,191 @@
+"""Engine behavior: pragmas, baselines, file collection, parse errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import Violation
+from repro.lint.rules import all_rules, rules_by_id, select_rules
+
+BAD_RNG = """
+import random
+
+def bad():
+    return random.random()
+"""
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_one_finding(self, project):
+        project.write(
+            "src/repro/a.py",
+            """
+            import random
+
+            def bad():
+                one = random.random()  # repro-lint: disable=R001
+                two = random.random()
+                return one + two
+            """,
+        )
+        report = project.lint(["R001"])
+        assert len(report.violations) == 1
+        assert report.violations[0].line == 6
+
+    def test_line_pragma_takes_a_rule_list(self, project):
+        project.write(
+            "src/repro/a.py",
+            """
+            import random
+
+            def bad():
+                return random.random()  # repro-lint: disable=R002,R001
+            """,
+        )
+        assert project.lint(["R001"]).clean
+
+    def test_file_pragma_suppresses_whole_file(self, project):
+        project.write(
+            "src/repro/a.py",
+            """
+            # repro-lint: disable-file=R001
+            import random
+
+            def bad():
+                return random.random() + random.random()
+            """,
+        )
+        assert project.lint(["R001"]).clean
+
+    def test_disable_all(self, project):
+        project.write(
+            "src/repro/a.py",
+            """
+            import random
+
+            def bad():
+                return random.random()  # repro-lint: disable=all
+            """,
+        )
+        assert project.lint(["R001"]).clean
+
+    def test_pragma_on_other_line_does_not_suppress(self, project):
+        project.write(
+            "src/repro/a.py",
+            """
+            import random
+            # repro-lint: disable=R001
+
+            def bad():
+                return random.random()
+            """,
+        )
+        assert len(project.lint(["R001"]).violations) == 1
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_matching_violations(self, project, tmp_path):
+        project.write("src/repro/experiments/runner.py", "EXPERIMENTS = {}\n")
+        project.write(
+            "src/repro/experiments/figure1.py",
+            "def run(scale=1.0):\n    return scale\n",
+        )
+        first = project.lint(["R003"])
+        assert first.violations
+
+        path = tmp_path / "baseline.json"
+        Baseline.from_violations(first.violations).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == {
+            v.fingerprint for v in first.violations
+        }
+
+        second = project.lint(["R003"], baseline=loaded.fingerprints)
+        assert second.clean
+        assert len(second.suppressed) == len(first.violations)
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").fingerprints == set()
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            Baseline.load(path)
+
+    @pytest.mark.parametrize("rule_id", ["R001", "R002"])
+    def test_determinism_and_bitwidth_refuse_baselining(
+        self, tmp_path, rule_id
+    ):
+        violation = Violation(
+            rule_id=rule_id,
+            path="src/repro/x.py",
+            line=3,
+            symbol="f",
+            message="whatever",
+        )
+        baseline = Baseline.from_violations([violation])
+        with pytest.raises(ValueError, match="must be fixed"):
+            baseline.save(tmp_path / "baseline.json")
+        assert not (tmp_path / "baseline.json").exists()
+
+    def test_baseline_does_not_hide_new_violations(self, project):
+        project.write("src/repro/experiments/runner.py", "EXPERIMENTS = {}\n")
+        project.write(
+            "src/repro/experiments/figure1.py",
+            "def run(scale=1.0):\n    return scale\n",
+        )
+        stale = {"R003::src/repro/experiments/other.py::other::gone"}
+        report = project.lint(["R003"], baseline=stale)
+        assert report.violations and not report.suppressed
+
+
+class TestEngine:
+    def test_parse_error_is_reported_and_fails(self, project):
+        project.write("src/repro/broken.py", "def broken(:\n")
+        project.write("src/repro/fine.py", "X = 1\n")
+        report = project.lint(["R001"])
+        assert not report.clean
+        assert len(report.parse_errors) == 1
+        assert "broken.py" in report.parse_errors[0]
+        assert report.checked_files == 1
+
+    def test_pycache_and_git_dirs_skipped(self, project):
+        project.write("src/repro/__pycache__/junk.py", BAD_RNG)
+        project.write("src/repro/ok.py", "X = 1\n")
+        report = project.lint(["R001"])
+        assert report.clean and report.checked_files == 1
+
+    def test_violation_fingerprint_ignores_line(self):
+        a = Violation("R003", "src/x.py", 10, "run", "msg")
+        b = Violation("R003", "src/x.py", 99, "run", "msg")
+        assert a.fingerprint == b.fingerprint
+
+    def test_render_format(self):
+        violation = Violation("R001", "src/x.py", 7, "f", "msg")
+        assert violation.render() == "src/x.py:7: R001 [f]: msg"
+
+
+class TestRuleRegistry:
+    def test_five_rules_registered(self):
+        assert [rule.rule_id for rule in all_rules()] == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+        ]
+
+    def test_descriptions_present(self):
+        for rule in all_rules():
+            assert rule.name and rule.description
+
+    def test_select_rules(self):
+        assert [r.rule_id for r in select_rules(["r004", "R001"])] == [
+            "R001",
+            "R004",
+        ]
+        with pytest.raises(KeyError):
+            select_rules(["R999"])
+        assert set(rules_by_id()) == {f"R00{i}" for i in range(1, 6)}

@@ -1,6 +1,5 @@
 """Tests for the analytical model (formulas 1-4 and their properties)."""
 
-import math
 
 import pytest
 from hypothesis import given

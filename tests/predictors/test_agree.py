@@ -4,7 +4,6 @@ import random
 
 from repro.predictors.agree import AgreePredictor
 from repro.sim.engine import simulate
-from repro.traces.trace import BranchRecord, Trace
 
 
 def _make(index_bits=6, history=4):

@@ -1,6 +1,5 @@
 """Tests for gshare, including the paper's footnote-1 alignment rule."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

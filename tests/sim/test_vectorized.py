@@ -32,8 +32,10 @@ SUPPORTED_SPECS = [
     "gshare:256:h8",  # history == index bits (pure XOR)
     "gshare:64:h10",  # history > index bits (XOR folding)
     "gshare:256:h0",  # degenerate: PC-indexed
+    "gshare:1:h4",  # degenerate: one entry (index bits = 0, hung once)
     "gshare:256:h4:c1",
     "gselect:256:h4",
+    "gselect:1:h4",  # degenerate: one entry
     "gselect:256:h6:c1",
     "gskew:1x256:h6:partial",
     "gskew:1x256:h6:lazy",

@@ -33,13 +33,17 @@ from pathlib import Path
 
 from repro.aliasing.three_cs import measure_aliasing_reference
 from repro.aliasing.vectorized import measure_aliasing_sweep
+from repro.lint.engine import ProjectContext, lint_paths
+from repro.lint.rules import select_rules
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
 from repro.sim.parallel import run_cells
 from repro.sim.vectorized import simulate_vectorized
 from repro.traces.synthetic.workloads import ibs_trace
 
-DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
 
 ENGINE_SPECS = [
     "bimodal:4k",
@@ -197,6 +201,29 @@ def bench_aliasing(trace, repeat):
     }
 
 
+def check_engine_parity() -> list:
+    """R004 pre-flight: every timed entry point has an equivalence test.
+
+    Equivalent to ``repro-lint --rule R004 --list src/``; a speedup
+    measured on a function no test checks for bit identity is a number
+    without a correctness argument, so the gap is called out up front
+    (and recorded in the report) rather than discovered in review.
+    """
+    report = lint_paths(
+        [
+            REPO_ROOT / "src/repro/sim/vectorized.py",
+            REPO_ROOT / "src/repro/aliasing/vectorized.py",
+        ],
+        select_rules(["R004"]),
+        project=ProjectContext(REPO_ROOT),
+    )
+    for violation in report.violations:
+        print(f"  WARNING {violation.render()}")
+    if not report.violations:
+        print("  ok: every vectorized entry point has an equivalence test")
+    return [violation.render() for violation in report.violations]
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.4)
@@ -219,6 +246,8 @@ def main() -> int:
         f"{trace.conditional_count} conditional branches"
     )
 
+    print("engine parity (repro-lint R004):")
+    parity_gaps = check_engine_parity()
     print("engine (generic vs vectorized):")
     engine_rows = bench_engines(trace, args.repeat)
     print("sweep (serial vs parallel):")
@@ -233,6 +262,7 @@ def main() -> int:
         "scale": args.scale,
         "repeat": args.repeat,
         "conditional_branches": trace.conditional_count,
+        "engine_parity_gaps": parity_gaps,
         "engine": engine_rows,
         "sweep": sweep,
         "aliasing": aliasing,

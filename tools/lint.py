@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run repro-lint without installing the package.
+
+Equivalent to ``repro-lint`` (or ``PYTHONPATH=src python -m
+repro.lint``); kept next to the other harness scripts so CI and
+developers share one invocation:
+
+    python tools/lint.py src/
+    python tools/lint.py --rule R004 --list src/
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.lint.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main())
