@@ -1,10 +1,11 @@
-"""R004 — engine parity: vectorized entry points carry equivalence tests.
+"""R004 — engine parity: fast-path entry points carry equivalence tests.
 
-``sim/vectorized.py`` and ``aliasing/vectorized.py`` re-implement the
-reference engines in closed form; their correctness argument *is* the
-equivalence suite (bit-identical results on shared inputs).  A public
-function added to either module without a test referencing it is an
-unverified fast path — precisely the hole this rule closes.
+``sim/vectorized.py``, ``sim/scan.py`` and ``aliasing/vectorized.py``
+re-implement the reference engines in closed form; their correctness
+argument *is* the equivalence suite (bit-identical results on shared
+inputs).  A public function added to any of them without a test
+referencing it is an unverified fast path — precisely the hole this
+rule closes.
 
 "Referenced" is a whole-word textual match anywhere under ``tests/``:
 coarse, but exactly the bar the equivalence suites already clear, and
@@ -20,7 +21,7 @@ from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
 
 __all__ = ["EngineParityRule", "public_functions"]
 
-_TARGETS = ("sim/vectorized.py", "aliasing/vectorized.py")
+_TARGETS = ("sim/vectorized.py", "sim/scan.py", "aliasing/vectorized.py")
 
 
 def public_functions(tree: ast.Module) -> List[ast.FunctionDef]:
@@ -54,7 +55,7 @@ class EngineParityRule(Rule):
     rule_id = "R004"
     name = "engine-parity"
     description = (
-        "public functions of the vectorized engines must be referenced "
+        "public functions of the fast engines must be referenced "
         "by an equivalence test under tests/"
     )
 
@@ -70,7 +71,7 @@ class EngineParityRule(Rule):
                     ctx,
                     fn,
                     fn.name,
-                    f"vectorized entry point '{fn.name}' has no test "
+                    f"fast-path entry point '{fn.name}' has no test "
                     "referencing it; add an equivalence test against the "
                     "reference engine",
                 )

@@ -11,6 +11,8 @@ from repro.sim.cost import CostEstimate, PipelineModel, speedup
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import resolve_jobs, simulate_specs
+from repro.sim.profile import StageTimer
+from repro.sim.scan import counter_scan, scan_supports, simulate_scan
 from repro.sim.vectorized import simulate_fast, simulate_vectorized
 from repro.sim.windowed import WindowedResult, windowed_misprediction
 from repro.sim.sweep import (
@@ -33,7 +35,11 @@ __all__ = [
     "parse_size",
     "simulate",
     "simulate_fast",
+    "simulate_scan",
     "simulate_vectorized",
+    "scan_supports",
+    "counter_scan",
+    "StageTimer",
     "simulate_specs",
     "resolve_jobs",
     "SimulationResult",

@@ -1,4 +1,4 @@
-"""Per-branch misprediction profiling.
+"""Per-branch misprediction profiling and engine stage timing.
 
 Aggregate ratios say *how much* a predictor mispredicts; a study usually
 also needs to know *where*.  :func:`profile_mispredictions` runs a
@@ -7,18 +7,83 @@ branch, returning the offenders ranked by miss count with their
 execution counts, per-branch miss rates, and taken bias — the view that
 distinguishes "a few hard branches" from "diffuse aliasing".
 
-Exposed on the command line as ``repro-trace profile``.
+The same "where, not just how much" question applies to the fast
+engines' wall-clock: :class:`StageTimer` accumulates per-stage seconds
+(history precompute / group argsort / scan / reduce) when passed to
+``simulate_vectorized`` / ``simulate_scan`` via their ``stage_timer``
+argument, so a future perf regression in ``BENCH_engine.json`` is
+attributable to a pipeline stage rather than an opaque total.
+
+Exposed on the command line as ``repro-trace profile``; stage timings
+surface in ``tools/bench_engine.py``'s JSON report.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.predictors.base import BranchPredictor
 from repro.traces.trace import Trace
 
-__all__ = ["BranchProfile", "ProfileResult", "profile_mispredictions"]
+__all__ = [
+    "BranchProfile",
+    "ProfileResult",
+    "profile_mispredictions",
+    "StageTimer",
+    "NULL_STAGE_TIMER",
+]
+
+
+class StageTimer:
+    """Wall-clock accumulator for named engine pipeline stages.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("scan"):
+    ...     pass
+    >>> sorted(timer.totals) == ["scan"]
+    True
+
+    Repeated entries into the same stage accumulate, so one timer can be
+    reused across best-of-N benchmark repetitions (divide by N) or across
+    every cell of a sweep (totals per stage over the whole sweep).
+    """
+
+    __slots__ = ("totals",)
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one stage; seconds add to ``totals``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        """Drop all accumulated stage totals (reuse across trials)."""
+        self.totals.clear()
+
+    def as_dict(self, digits: int = 6) -> Dict[str, float]:
+        """Rounded copy, stable for JSON reports."""
+        return {name: round(s, digits) for name, s in self.totals.items()}
+
+
+class _NullStageTimer(StageTimer):
+    """No-op timer: the default when callers don't ask for stage timings."""
+
+    def stage(self, name: str):
+        return nullcontext()
+
+
+#: shared do-nothing timer; engines use it when ``stage_timer`` is None.
+NULL_STAGE_TIMER = _NullStageTimer()
 
 
 @dataclass(frozen=True)

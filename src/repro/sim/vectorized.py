@@ -7,21 +7,33 @@ so the global-history register contents at each event are fixed by the
 event stream before simulation starts.  This engine exploits that:
 
 1. the per-event global-history values are computed for the whole trace
-   with numpy bit-ops over :class:`~repro.traces.trace.Trace`'s columns;
+   with numpy bit-ops over :class:`~repro.traces.trace.Trace`'s columns
+   (memoised per trace via :meth:`~repro.traces.trace.Trace.derived_column`
+   so sweeps pay for each history length once);
 2. each bank's full index stream is then evaluated in closed form (the
    gshare/gselect index functions and the paper's skewing family vectorize
    directly — see :mod:`repro.core.skew`);
-3. only the irreducibly sequential part — saturating-counter reads and
-   updates, whose values feed back into later predictions — runs as a
-   tight Python loop with no per-branch hashing, dispatch, or history
-   bookkeeping.
+3. the remaining sequential part — saturating-counter reads and updates,
+   whose values feed back into later predictions — runs as a tight Python
+   loop with no per-branch hashing, dispatch, or history bookkeeping.
+
+Step 3 is not actually irreducible: for always-update configurations each
+table entry is an independent FSM driven only by the outcomes that hit it,
+and :mod:`repro.sim.scan` replaces the loop with a grouped transition-
+composition scan (see ``docs/performance.md``).  This module keeps the
+loop because coupled-update policies (PARTIAL/LAZY on multi-bank skewed
+predictors) genuinely need it: there each bank's training decision reads
+the *overall* majority vote, which depends on the other banks' counters
+at that instant, so no single bank's state is a function of its own event
+substream alone.
 
 The result is behaviourally identical to :func:`repro.sim.engine.simulate`
 (asserted by the equivalence suite in ``tests/sim/test_vectorized.py``,
 like the fused fast paths in the predictors themselves), including the
-predictor's final counter and history state.  :func:`simulate_fast` falls
-back to the generic engine for anything it can't express (tagged,
-per-address, hybrid and custom-skew schemes).
+predictor's final counter and history state.  :func:`simulate_fast`
+dispatches each spec to the fastest expressible engine — scan, then this
+loop engine, then the generic interpreter for anything neither can
+express (tagged, per-address, hybrid and custom-skew schemes).
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from repro.predictors.gselect import GselectPredictor
 from repro.predictors.gshare import GsharePredictor
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
 from repro.traces.trace import Trace
 
 __all__ = ["supports", "simulate_vectorized", "simulate_fast", "history_stream"]
@@ -48,6 +61,37 @@ _MAX_HISTORY_BITS = 63
 
 
 # -- index-stream precomputation (numpy, whole-trace) ----------------------
+
+
+def _cond_mask(trace: Trace) -> np.ndarray:
+    """Boolean conditional-branch mask, memoised on the trace."""
+    return trace.derived_column(
+        "cond_mask", lambda: trace.conditionals.astype(bool)
+    )
+
+
+def _cond_words(trace: Trace) -> np.ndarray:
+    """Word-aligned addresses (``pc >> 2``) of the conditional branches."""
+    return trace.derived_column(
+        "cond_words",
+        lambda: (trace.pcs >> np.uint64(2))[_cond_mask(trace)],
+    )
+
+
+def _cond_takens(trace: Trace) -> np.ndarray:
+    """Outcomes of the conditional branches as a bool array."""
+    return trace.derived_column(
+        "cond_takens", lambda: trace.takens[_cond_mask(trace)].astype(bool)
+    )
+
+
+def _cond_history(trace: Trace, bits: int) -> np.ndarray:
+    """Global-history stream at the conditional branches, memoised per
+    ``bits`` (sweeps revisit the same history lengths constantly)."""
+    return trace.derived_column(
+        ("cond_history", bits),
+        lambda: history_stream(trace.takens, bits)[_cond_mask(trace)],
+    )
 
 
 def history_stream(takens: np.ndarray, bits: int) -> np.ndarray:
@@ -72,51 +116,98 @@ def history_stream(takens: np.ndarray, bits: int) -> np.ndarray:
 
 
 def _shuffle(y: np.ndarray, n: int) -> np.ndarray:
-    """Vectorized :func:`repro.core.skew.shuffle_h` (inputs already n-bit)."""
+    """Vectorized :func:`repro.core.skew.shuffle_h` (inputs already n-bit).
+
+    Dtype-preserving: scalar operands match ``y``'s width so the uint32
+    fast path of :func:`_skew_streams` stays uint32 throughout.
+    """
     if n == 1:
         return y
-    one = np.uint64(1)
-    msb = ((y >> np.uint64(n - 1)) ^ y) & one
-    return (y >> one) | (msb << np.uint64(n - 1))
+    if y.dtype == np.uint32:
+        one, top = np.uint32(1), np.uint32(n - 1)
+    else:
+        one, top = np.uint64(1), np.uint64(n - 1)
+    msb = ((y >> top) ^ y) & one
+    return (y >> one) | (msb << top)
 
 
 def _shuffle_inverse(z: np.ndarray, n: int) -> np.ndarray:
-    """Vectorized :func:`repro.core.skew.shuffle_h_inverse`."""
+    """Vectorized :func:`repro.core.skew.shuffle_h_inverse` (dtype-preserving)."""
     if n == 1:
         return z
-    one = np.uint64(1)
-    mask = np.uint64((1 << n) - 1)
-    low = ((z >> np.uint64(n - 1)) ^ (z >> np.uint64(n - 2))) & one
+    if z.dtype == np.uint32:
+        one, top, sub = np.uint32(1), np.uint32(n - 1), np.uint32(n - 2)
+        mask = np.uint32((1 << n) - 1)
+    else:
+        one, top, sub = np.uint64(1), np.uint64(n - 1), np.uint64(n - 2)
+        mask = np.uint64((1 << n) - 1)
+    low = ((z >> top) ^ (z >> sub)) & one
     return ((z << one) & mask) | low
 
 
+def _skew_halves(
+    trace: Trace, n: int, history_bits: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The two n-bit halves ``v1, v2`` of the skewing information vector.
+
+    The halves are a pure function of the trace and the (n, history)
+    geometry — ``vector = (pc >> 2) << h | hist``, split into its low
+    and next ``n`` bits — so they memoize per trace like the history
+    stream does.  Only the low ``2n`` bits of the vector matter to the
+    family, hence the halves narrow to uint32 for any allocatable bank
+    (``n <= 32``), roughly halving the arithmetic of the ~25 array ops
+    the family expands to.
+    """
+
+    def compute() -> np.ndarray:
+        words = _cond_words(trace)
+        hist = _cond_history(trace, history_bits)
+        mask = np.uint64((1 << n) - 1)
+        vector = (words << np.uint64(history_bits)) | hist
+        v1 = vector & mask
+        v2 = (vector >> np.uint64(n)) & mask
+        if n <= 32:
+            return np.stack([v1, v2]).astype(np.uint32)
+        return np.stack([v1, v2])  # pragma: no cover — bank > 2**32 entries
+
+    pair = trace.derived_column(("skew_halves", n, history_bits), compute)
+    return pair[0], pair[1]
+
+
 def _skew_streams(
-    words: np.ndarray, hist: np.ndarray, n: int, history_bits: int, banks: int
+    trace: Trace, n: int, history_bits: int, banks: int
 ) -> List[np.ndarray]:
     """Index streams for the paper's skewing family (1, 3 or 5 banks).
 
-    ``words`` are word-aligned addresses (``pc >> 2``); only the low
-    ``2n`` bits of the information vector matter to the family, so the
-    uint64 vector packing is exact.
+    Built from the information-vector halves of :func:`_skew_halves`;
+    the single-bank family is plain address/history truncation, i.e.
+    ``v1`` itself.  Like the halves, the whole family is a pure function
+    of the trace and the ``(n, history, banks)`` geometry, so the ~25
+    array ops it expands to memoize per trace as one stacked column
+    (rows are returned as read-only-by-convention views).
     """
-    mask = np.uint64((1 << n) - 1)
-    vector = (words << np.uint64(history_bits)) | hist
     if banks == 1:
-        return [vector & mask]
-    v1 = vector & mask
-    v2 = (vector >> np.uint64(n)) & mask
-    h1 = _shuffle(v1, n)
-    g2 = _shuffle_inverse(v2, n)
-    f0 = h1 ^ g2 ^ v2
-    f1 = h1 ^ g2 ^ v1
-    g1 = _shuffle_inverse(v1, n)
-    h2 = _shuffle(v2, n)
-    f2 = g1 ^ h2 ^ v2
-    if banks == 3:
-        return [f0, f1, f2]
-    f3 = g1 ^ h2 ^ v1
-    f4 = _shuffle(h1, n) ^ _shuffle_inverse(g2, n) ^ v2
-    return [f0, f1, f2, f3, f4]
+        return [_skew_halves(trace, n, history_bits)[0]]
+
+    def compute() -> np.ndarray:
+        v1, v2 = _skew_halves(trace, n, history_bits)
+        h1 = _shuffle(v1, n)
+        g2 = _shuffle_inverse(v2, n)
+        f0 = h1 ^ g2 ^ v2
+        f1 = h1 ^ g2 ^ v1
+        g1 = _shuffle_inverse(v1, n)
+        h2 = _shuffle(v2, n)
+        f2 = g1 ^ h2 ^ v2
+        if banks == 3:
+            return np.stack([f0, f1, f2])
+        f3 = g1 ^ h2 ^ v1
+        f4 = _shuffle(h1, n) ^ _shuffle_inverse(g2, n) ^ v2
+        return np.stack([f0, f1, f2, f3, f4])
+
+    family = trace.derived_column(
+        ("skew_family", n, history_bits, banks), compute
+    )
+    return list(family)
 
 
 def _gshare_stream(
@@ -179,8 +270,7 @@ def _index_streams(
     :func:`simulate_fast`).
     """
     kind = type(predictor)
-    conditional = trace.conditionals.astype(bool)
-    words = (trace.pcs >> np.uint64(2))[conditional]
+    words = _cond_words(trace)
 
     if kind is BimodalPredictor:
         mask = np.uint64((1 << predictor.index_bits) - 1)
@@ -189,7 +279,7 @@ def _index_streams(
     history_bits = getattr(predictor, "history_bits", None)
     if history_bits is None or history_bits > _MAX_HISTORY_BITS:
         return None
-    hist = history_stream(trace.takens, history_bits)[conditional]
+    hist = _cond_history(trace, history_bits)
 
     if kind is GsharePredictor:
         return [_gshare_stream(words, hist, predictor.index_bits, history_bits)]
@@ -197,7 +287,7 @@ def _index_streams(
         return [_gselect_stream(words, hist, predictor.index_bits, history_bits)]
     if kind is EnhancedSkewedPredictor:
         n = predictor.bank_index_bits
-        _, f1, f2 = _skew_streams(words, hist, n, history_bits, banks=3)
+        _, f1, f2 = _skew_streams(trace, n, history_bits, banks=3)
         return [_egskew_bank0_stream(words, hist, predictor), f1, f2]
     if kind is SkewedPredictor:
         banks = len(predictor.banks)
@@ -205,9 +295,8 @@ def _index_streams(
             return None
         if not getattr(predictor, "default_skew_family", False):
             return None
-        return _skew_streams(
-            words, hist, predictor.bank_index_bits, history_bits, banks
-        )
+        n = predictor.bank_index_bits
+        return _skew_streams(trace, n, history_bits, banks)
     return None
 
 
@@ -471,11 +560,14 @@ def simulate_vectorized(
     trace: Trace,
     warmup: int = 0,
     label: Optional[str] = None,
+    stage_timer: Optional[StageTimer] = None,
 ) -> SimulationResult:
     """Vectorized-index counterpart of :func:`repro.sim.engine.simulate`.
 
     Identical arguments and result; also leaves the predictor's counters
     and history register in the same final state the generic engine would.
+    ``stage_timer`` (optional) accumulates per-stage wall-clock under
+    ``"precompute"`` (history + index streams) and ``"counter_loop"``.
 
     Raises:
         ValueError: if the predictor has no vectorized path (callers
@@ -483,15 +575,19 @@ def simulate_vectorized(
     """
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
-    streams = _index_streams(predictor, trace)
-    if streams is None:
-        raise ValueError(
-            f"no vectorized path for {type(predictor).__name__}; "
-            "use simulate_fast() or the generic engine"
+    timer = NULL_STAGE_TIMER if stage_timer is None else stage_timer
+    with timer.stage("precompute"):
+        streams = _index_streams(predictor, trace)
+        if streams is None:
+            raise ValueError(
+                f"no vectorized path for {type(predictor).__name__}; "
+                "use simulate_fast() or the generic engine"
+            )
+        outcomes = _cond_takens(trace).tolist()
+    with timer.stage("counter_loop"):
+        scored, mispredictions = _run_plan(
+            predictor, streams, outcomes, warmup
         )
-    conditional = trace.conditionals.astype(bool)
-    outcomes = trace.takens[conditional].astype(bool).tolist()
-    scored, mispredictions = _run_plan(predictor, streams, outcomes, warmup)
 
     history = getattr(predictor, "history", None)
     if history is not None and history.bits:
@@ -513,11 +609,29 @@ def simulate_fast(
     warmup: int = 0,
     label: Optional[str] = None,
 ) -> SimulationResult:
-    """Run on the vectorized engine when possible, else the generic one.
+    """Run each spec on the fastest engine that can express it.
 
-    This is the engine entry point the sweep machinery uses; behaviour is
-    identical either way, only wall-clock differs.
+    Dispatch order (behaviour is identical on every path, only
+    wall-clock differs — this is the entry point the sweep machinery
+    uses):
+
+    1. :func:`repro.sim.scan.simulate_scan` for always-update
+       configurations (bimodal/gshare/gselect/agree, single-bank
+       non-LAZY skewed, multi-bank TOTAL skewed/e-gskew), where every
+       table entry is an independent FSM;
+    2. :func:`simulate_vectorized` for the remaining index-expressible
+       schemes — multi-bank PARTIAL/LAZY, whose banks are coupled
+       through the majority vote and therefore need the sequential
+       counter loop;
+    3. the generic interpreter for everything else (tagged, per-address,
+       hybrid and custom-skew schemes).
     """
+    # Imported lazily: scan builds on this module's index streams, so a
+    # top-level import here would be circular.
+    from repro.sim.scan import scan_supports, simulate_scan
+
+    if scan_supports(predictor, trace):
+        return simulate_scan(predictor, trace, warmup=warmup, label=label)
     if supports(predictor, trace):
         return simulate_vectorized(predictor, trace, warmup=warmup, label=label)
     return simulate(predictor, trace, warmup=warmup, label=label)

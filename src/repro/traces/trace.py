@@ -65,6 +65,9 @@ class Trace:
         #: per-column cache of materialised Python lists; see columns() /
         #: sim_columns().  Keyed per column so the two views share storage.
         self._column_lists: Dict[str, list] = {}
+        #: memo of derived numpy columns (see derived_column()); dropped
+        #: together with the list cache by release_columns().
+        self._derived: Dict[object, "np.ndarray"] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -175,8 +178,26 @@ class Trace:
             self._column("conditionals_bool"),
         )
 
+    def derived_column(self, key, compute) -> "np.ndarray":
+        """Memoised derived numpy column, computed once per trace.
+
+        The vectorized engines derive per-event streams that depend only
+        on the trace (global-history registers, conditional masks,
+        word-aligned addresses); sweeping many predictor configurations
+        over one trace recomputes them identically every call.  ``key``
+        identifies the derivation (e.g. ``("cond_history", bits)``),
+        ``compute`` is a zero-argument callable producing the array.
+        Cached values are immutable by convention — callers must not
+        write to the returned array.
+        """
+        value = self._derived.get(key)
+        if value is None:
+            value = compute()
+            self._derived[key] = value
+        return value
+
     def release_columns(self) -> None:
-        """Drop every materialised column list.
+        """Drop every materialised column list and derived-column memo.
 
         The numpy arrays stay; the next :meth:`columns` / :meth:`sim_columns`
         call re-materialises.  Long sweep sessions call this (via
@@ -184,6 +205,7 @@ class Trace:
         and the Python-list storage alive indefinitely.
         """
         self._column_lists.clear()
+        self._derived.clear()
 
     def head(self, count: int) -> "Trace":
         """A new trace consisting of the first ``count`` events."""

@@ -1,11 +1,16 @@
-"""Tests for per-branch misprediction profiling."""
+"""Tests for per-branch misprediction profiling and stage timing."""
 
 import pytest
 
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.static import AlwaysTakenPredictor
+from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
-from repro.sim.profile import profile_mispredictions
+from repro.sim.profile import (
+    NULL_STAGE_TIMER,
+    StageTimer,
+    profile_mispredictions,
+)
 from repro.traces.trace import BranchRecord, Trace
 
 
@@ -63,6 +68,63 @@ class TestProfile:
         assert result.misprediction_ratio == 0.0
         assert result.profiles == []
 
+class TestStageTimer:
+    def test_accumulates_across_entries(self):
+        timer = StageTimer()
+        with timer.stage("scan"):
+            pass
+        first = timer.totals["scan"]
+        with timer.stage("scan"):
+            pass
+        assert timer.totals["scan"] >= first
+        assert set(timer.totals) == {"scan"}
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("reduce"):
+                raise RuntimeError("boom")
+        assert "reduce" in timer.totals
+
+    def test_reset_and_as_dict(self):
+        timer = StageTimer()
+        with timer.stage("argsort"):
+            pass
+        rounded = timer.as_dict(digits=3)
+        assert set(rounded) == {"argsort"}
+        assert rounded["argsort"] == round(timer.totals["argsort"], 3)
+        timer.reset()
+        assert timer.totals == {}
+
+    def test_null_timer_records_nothing(self):
+        with NULL_STAGE_TIMER.stage("scan"):
+            pass
+        assert NULL_STAGE_TIMER.totals == {}
+
+    @pytest.mark.parametrize(
+        "engine", ["scan", "vectorized"], ids=["scan", "vectorized"]
+    )
+    def test_engines_populate_pipeline_stages(self, engine, tiny_trace):
+        from repro.sim.scan import simulate_scan
+        from repro.sim.vectorized import simulate_vectorized
+
+        run = simulate_scan if engine == "scan" else simulate_vectorized
+        timer = StageTimer()
+        run(
+            make_predictor("gskew:3x128:h5:total"),
+            tiny_trace,
+            stage_timer=timer,
+        )
+        if engine == "scan":
+            assert {"precompute", "argsort", "scan", "reduce"} <= set(
+                timer.totals
+            )
+        else:
+            assert {"precompute", "counter_loop"} <= set(timer.totals)
+        assert all(seconds >= 0.0 for seconds in timer.totals.values())
+
+
+class TestProfileCli:
     def test_cli_profile(self, tmp_path, capsys):
         from repro.traces.cli import main
         from repro.traces.io import save_trace
