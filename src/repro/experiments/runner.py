@@ -6,13 +6,20 @@ Usage (installed as ``repro-experiments``):
     repro-experiments table1 table2
     repro-experiments figure5 --scale 0.25
     repro-experiments figure6 figure8 --jobs 4
-    repro-experiments all
+    repro-experiments all --checkpoint-dir out/.ckpt --resume
 
 Each experiment prints the paper-shaped table/series for every
 benchmark.  ``--scale`` shrinks the traces for quick looks; ``--jobs``
 fans the sweep-shaped experiments out over worker processes (defaults
 to the ``REPRO_JOBS`` environment variable; experiments that don't
 sweep ignore it).
+
+``--checkpoint-dir`` snapshots each finished experiment's report
+atomically (:class:`repro.resilience.checkpoint.CheckpointStore`);
+rerunning with ``--resume`` serves those snapshots instead of
+recomputing, so an interrupted ``all`` continues where it died.
+Snapshots are keyed by the settings that change results (scale, plot),
+so a resume at different settings recomputes everything.
 """
 
 from __future__ import annotations
@@ -21,7 +28,10 @@ import argparse
 import inspect
 import sys
 import time
+from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+from repro.resilience.checkpoint import CheckpointStore
 
 from repro.experiments import (
     antialiasing_shootout,
@@ -163,12 +173,40 @@ def _main(argv=None) -> int:
             "(0 = one per CPU; default: $REPRO_JOBS, else serial)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "snapshot each finished experiment's report here "
+            "(atomic JSON, one file per experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve experiments already snapshotted in --checkpoint-dir "
+            "instead of recomputing them"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
 
     if args.names == ["list"]:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    store = None
+    if args.checkpoint_dir is not None:
+        # jobs deliberately isn't part of the key: the grids are
+        # byte-identical for every worker count.
+        store = CheckpointStore(
+            args.checkpoint_dir,
+            meta={"scale": args.scale, "plot": bool(args.plot)},
+        )
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     # perf_counter is monotonic: wall-clock (time.time) steps under NTP
@@ -178,13 +216,21 @@ def _main(argv=None) -> int:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
+        if store is not None and args.resume:
+            cached = store.load(name)
+            if cached is not None:
+                print(f"=== {name} (from checkpoint) ===")
+                print(cached["report"])
+                print(f"--- {name} served from checkpoint ---\n")
+                continue
         started = time.perf_counter()
         print(f"=== {name} ===")
-        print(
-            run_experiment(
-                name, scale=args.scale, plot=args.plot, jobs=args.jobs
-            )
+        report = run_experiment(
+            name, scale=args.scale, plot=args.plot, jobs=args.jobs
         )
+        print(report)
+        if store is not None:
+            store.store(name, {"report": report})
         elapsed = time.perf_counter() - started
         print(f"--- {name} finished in {elapsed:.1f}s ---\n")
     total = time.perf_counter() - run_started

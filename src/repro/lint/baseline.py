@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Iterable, List, Set
 
 from repro.lint.engine import Violation
+from repro.util.atomic import atomic_write_text
 
 __all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "NEVER_BASELINED"]
 
@@ -103,7 +104,8 @@ class Baseline:
                 "determinism and bit-width violations must be fixed"
             )
         payload = {"version": 1, "suppressions": self.entries}
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # Atomic publish: a baseline half-written when CI is killed
+        # would make the next lint run fail on parse, not on findings.
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )

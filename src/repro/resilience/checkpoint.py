@@ -1,0 +1,130 @@
+"""Atomic per-experiment checkpoints for interruptible batch runs.
+
+A full experiment batch (``repro-experiments all``,
+``tools/run_full_experiments.py``) can run for hours; a mid-run crash
+or kill must not lose the experiments already finished.  Each completed
+experiment is snapshotted as one JSON file::
+
+    {
+      "version": 1,
+      "name": "figure5",
+      "meta": {"scale": 1.0, ...},
+      "result": {"report": "...", ...}
+    }
+
+written atomically (:mod:`repro.util.atomic`), so an interrupted store
+leaves no half-written checkpoint.  ``meta`` carries every run setting
+that changes results (the scale, for the experiment runners); a stored
+entry whose ``meta`` differs from the current run's is ignored, so a
+``--resume`` at a different scale recomputes rather than resurrecting
+stale numbers.  Corrupt or unreadable entries are dropped (and counted
+on :attr:`CheckpointStore.errors`) and the experiment recomputed — the
+checkpoint layer can degrade a resume back to a full run, never corrupt
+its output.
+
+Because experiments are deterministic, a resumed run's recomputed
+experiments and its checkpoint-served experiments are byte-identical to
+a single uninterrupted run — which is what the resilience test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.util.atomic import atomic_write_text
+
+__all__ = ["CheckpointStore"]
+
+_FORMAT_VERSION = 1
+
+
+def _safe_name(name: str) -> str:
+    """Filesystem-safe rendering of an experiment name."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+class CheckpointStore:
+    """One directory of per-experiment JSON snapshots.
+
+    Args:
+        directory: where snapshots live (created lazily on first store).
+        meta: run settings that must match for an entry to be served
+            (anything JSON-serialisable; compared after a JSON round
+            trip, so tuples should be avoided).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        meta: Optional[Mapping[str, object]] = None,
+    ):
+        self.directory = Path(directory)
+        self.meta: Dict[str, object] = dict(meta or {})
+        #: corrupt / mismatched entries encountered by :meth:`load`
+        self.errors = 0
+
+    def path(self, name: str) -> Path:
+        """The snapshot file for experiment ``name``."""
+        return self.directory / f"{_safe_name(name)}.json"
+
+    def store(self, name: str, result: Mapping[str, object]) -> None:
+        """Atomically snapshot ``result`` for experiment ``name``."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "name": name,
+            "meta": self.meta,
+            "result": dict(result),
+        }
+        atomic_write_text(
+            self.path(name),
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+
+    def load(self, name: str) -> Optional[Dict[str, object]]:
+        """The stored result for ``name``, or ``None`` to recompute.
+
+        ``None`` covers: no entry, unreadable/corrupt JSON (the entry is
+        unlinked best-effort and counted in :attr:`errors`), a format or
+        ``meta`` mismatch, and an entry for a different experiment name
+        (possible only through file renames — still refused).
+        """
+        path = self.path(name)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint payload is not an object")
+            result = payload["result"]
+            if not isinstance(result, dict):
+                raise ValueError("checkpoint result is not an object")
+        except (ValueError, KeyError):
+            self.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if (
+            payload.get("version") != _FORMAT_VERSION
+            or payload.get("name") != name
+            or payload.get("meta") != self.meta
+        ):
+            return None
+        return result
+
+    def completed(self) -> List[str]:
+        """Names with a currently servable snapshot, sorted."""
+        if not self.directory.is_dir():
+            return []
+        names = []
+        for path in sorted(self.directory.glob("*.json")):
+            name = path.stem
+            if self.load(name) is not None:
+                names.append(name)
+        return names

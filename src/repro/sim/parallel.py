@@ -28,30 +28,114 @@ sweep helpers, the experiment runner, ``tools/run_full_experiments.py
 --jobs`` and the ``repro-trace`` CLI; ``jobs=None`` defers to the
 ``REPRO_JOBS`` environment variable (default: serial), ``jobs=0`` means
 one worker per CPU, and ``jobs=1`` never touches multiprocessing.
+
+**Worker-failure recovery.**  A long sweep must survive a killed or
+wedged worker without changing a single grid byte.  Each chunk is
+therefore dispatched asynchronously and collected with a per-cell
+timeout (``REPRO_CELL_TIMEOUT`` seconds per cell, scaled by chunk
+length; ``0``/``off`` disables):
+
+- a chunk whose worker *raises* (or dies with an error the pool can
+  surface) is re-dispatched up to :data:`RETRY_LIMIT` times with
+  doubling backoff, then computed serially in the parent as a last
+  resort;
+- a chunk that *times out* means a wedged worker: the pool is torn
+  down and every not-yet-collected chunk is computed serially in the
+  parent.
+
+Every recovery path runs the exact same engines on the exact same
+cells in the exact same order, so recovered grids are byte-identical
+to fault-free ones (asserted by ``tests/resilience/``); per-process
+counters (:func:`recovery_stats`) record what happened.  The
+``worker-crash`` / ``worker-hang`` fault sites
+(:mod:`repro.resilience.faults`, counted per chunk dispatch in the
+parent) exercise these paths deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.resilience.faults import InjectedFault, fault_active
 from repro.sim.config import make_predictor
 from repro.sim.metrics import SimulationResult
 from repro.sim.vectorized import simulate_fast
 from repro.traces.synthetic.workloads import ibs_trace, trace_cache_key
 from repro.traces.trace import Trace
 
-__all__ = ["resolve_jobs", "run_cells", "simulate_specs"]
+__all__ = [
+    "resolve_jobs",
+    "run_cells",
+    "simulate_specs",
+    "recovery_stats",
+    "reset_recovery_stats",
+]
 
 #: env var consulted when a ``jobs`` argument is left unset
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: env var: seconds allowed per *cell* before a worker counts as hung
+#: (scaled by chunk length when collecting a chunk); ``0``/``off``/
+#: ``none``/``disabled`` turns the timeout off.
+CELL_TIMEOUT_ENV_VAR = "REPRO_CELL_TIMEOUT"
+
+#: default per-cell timeout — generous (cells run in seconds, not
+#: minutes) so slow machines never false-positive, while a genuinely
+#: wedged worker still cannot stall a batch run forever
+DEFAULT_CELL_TIMEOUT_S = 300.0
+
+#: re-dispatches of a failing chunk before the serial last resort
+RETRY_LIMIT = 2
+
+#: first retry delay; doubles per attempt (deterministic, no jitter)
+BACKOFF_BASE_S = 0.05
+
+#: injected ``worker-hang`` sleep; far beyond any timeout, and the
+#: sleeping worker is killed when the pool is torn down
+_HANG_SECONDS = 600.0
 
 #: trace table of the current worker process, set by the pool initializer
 _WORKER_TRACES: List[Trace] = []
 
 #: one-time oversubscription warning latch (see :func:`_warn_oversubscribed`)
 _WARNED_OVERSUBSCRIBED = False
+
+#: per-process recovery counters; see :func:`recovery_stats`
+_RECOVERY: Dict[str, int] = {"retries": 0, "timeouts": 0, "serial_cells": 0}
+
+
+def recovery_stats() -> Dict[str, int]:
+    """A copy of this process's worker-recovery counters.
+
+    ``retries``: chunk re-dispatches after a worker error;
+    ``timeouts``: chunks whose collection hit the per-cell timeout
+    (each tears the pool down); ``serial_cells``: cells computed in the
+    parent as the last resort.
+    """
+    return dict(_RECOVERY)
+
+
+def reset_recovery_stats() -> None:
+    """Zero the per-process recovery counters (tests and harnesses)."""
+    for key in _RECOVERY:
+        _RECOVERY[key] = 0
+
+
+def _resolve_cell_timeout() -> Optional[float]:
+    """Per-cell collection timeout in seconds, or ``None`` when disabled."""
+    raw = os.environ.get(CELL_TIMEOUT_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_CELL_TIMEOUT_S
+    if raw.lower() in {"0", "off", "none", "disabled"}:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_CELL_TIMEOUT_S
+    return value if value > 0 else None
 
 
 def _warn_oversubscribed(jobs: int) -> None:
@@ -137,8 +221,21 @@ def _run_cell(task: Tuple[int, str]) -> SimulationResult:
     return simulate_fast(make_predictor(spec), trace, label=spec)
 
 
-def _run_chunk(chunk: Sequence[Tuple[int, str]]) -> List[SimulationResult]:
-    """Worker task: simulate a contiguous run of cells, in order."""
+def _run_chunk(
+    chunk: Sequence[Tuple[int, str]], fault: Optional[str] = None
+) -> List[SimulationResult]:
+    """Worker task: simulate a contiguous run of cells, in order.
+
+    ``fault`` is the injected-failure marker the parent attached at
+    dispatch time (``"crash"`` / ``"hang"``): deciding in the parent
+    keys the fault to the *dispatch*, not to whichever worker happens
+    to pick the task up, which is what makes a plan like
+    ``worker-crash@1`` deterministic under any scheduling.
+    """
+    if fault == "crash":
+        raise InjectedFault("worker-crash")
+    if fault == "hang":
+        time.sleep(_HANG_SECONDS)
     return [_run_cell(task) for task in chunk]
 
 
@@ -173,6 +270,34 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _run_cells_in_parent(
+    traces: Sequence[Trace], cells: Sequence[Tuple[int, str]]
+) -> List[SimulationResult]:
+    """Compute cells serially in the calling process (the last resort).
+
+    Bypasses the worker fault sites by construction — it never crosses
+    a process boundary — so recovery always terminates; results are
+    identical to the worker path because both run :func:`simulate_fast`
+    in cell order.
+    """
+    return [
+        simulate_fast(make_predictor(spec), traces[index], label=spec)
+        for index, spec in cells
+    ]
+
+
+def _submit(pool, chunk: Sequence[Tuple[int, str]]):
+    """Dispatch one chunk, consulting the worker fault sites.
+
+    Both sites are counted on every dispatch (retries included), so an
+    arrival window maps 1:1 onto dispatch numbers whatever fires.
+    """
+    crash = fault_active("worker-crash")
+    hang = fault_active("worker-hang")
+    fault = "crash" if crash else ("hang" if hang else None)
+    return pool.apply_async(_run_chunk, (chunk, fault))
+
+
 def run_cells(
     traces: Sequence[Trace],
     cells: Sequence[Tuple[int, str]],
@@ -186,7 +311,10 @@ def run_cells(
     grids — runs in-process with no pool at all, so single-job callers
     pay zero multiprocessing overhead.  Parallel dispatch ships one task
     per contiguous *chunk* of cells (see :func:`_chunk_cells`), not one
-    per cell, and flattens the chunk results back into serial order.
+    per cell, collects chunks in order under the retry/timeout policy
+    described in the module docstring, and flattens the chunk results
+    back into serial order — so the grid is byte-identical to a serial
+    run even when workers crash or hang along the way.
     """
     if jobs <= 0:
         jobs = os.cpu_count() or 1
@@ -194,22 +322,73 @@ def run_cells(
         for trace in traces:
             # Materialise hot columns once, outside any timing loops.
             trace.sim_columns()
-        return [
-            simulate_fast(make_predictor(spec), traces[index], label=spec)
-            for index, spec in cells
-        ]
+        return _run_cells_in_parent(traces, cells)
 
     _warn_oversubscribed(jobs)
     descriptors = _describe_traces(traces)
     chunks = _chunk_cells(cells, jobs)
+    cell_timeout = _resolve_cell_timeout()
+    import multiprocessing
+
     context = _pool_context()
     with context.Pool(
         processes=min(jobs, len(chunks)),
         initializer=_init_worker,
         initargs=(descriptors,),
     ) as pool:
+        handles = [_submit(pool, chunk) for chunk in chunks]
+        by_chunk: List[Optional[List[SimulationResult]]] = [None] * len(chunks)
+        pool_broken = False
+        for index, handle in enumerate(handles):
+            chunk = chunks[index]
+            if pool_broken:
+                _RECOVERY["serial_cells"] += len(chunk)
+                by_chunk[index] = _run_cells_in_parent(traces, chunk)
+                continue
+            timeout = (
+                None if cell_timeout is None else cell_timeout * len(chunk)
+            )
+            attempt = 0
+            while True:
+                try:
+                    by_chunk[index] = handle.get(timeout)
+                    break
+                except multiprocessing.TimeoutError:
+                    # A wedged worker poisons the whole pool (its slot
+                    # never frees); tear it down and finish in-process.
+                    _RECOVERY["timeouts"] += 1
+                    warnings.warn(
+                        f"sweep chunk {index} exceeded its "
+                        f"{timeout:.0f}s timeout; abandoning the worker "
+                        "pool and finishing serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    pool.terminate()
+                    pool_broken = True
+                    _RECOVERY["serial_cells"] += len(chunk)
+                    by_chunk[index] = _run_cells_in_parent(traces, chunk)
+                    break
+                except Exception as exc:
+                    if attempt < RETRY_LIMIT:
+                        attempt += 1
+                        _RECOVERY["retries"] += 1
+                        time.sleep(BACKOFF_BASE_S * 2 ** (attempt - 1))
+                        handle = _submit(pool, chunk)
+                        continue
+                    warnings.warn(
+                        f"sweep chunk {index} failed {attempt + 1} "
+                        f"times (last: {exc!r}); computing its "
+                        f"{len(chunk)} cell(s) serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    _RECOVERY["serial_cells"] += len(chunk)
+                    by_chunk[index] = _run_cells_in_parent(traces, chunk)
+                    break
         results: List[SimulationResult] = []
-        for chunk_results in pool.map(_run_chunk, chunks):
+        for chunk_results in by_chunk:
+            assert chunk_results is not None
             results.extend(chunk_results)
         return results
 

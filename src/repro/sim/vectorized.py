@@ -38,6 +38,7 @@ express (tagged, per-address, hybrid and custom-skew schemes).
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gselect import GselectPredictor
 from repro.predictors.gshare import GsharePredictor
+from repro.resilience.faults import maybe_fail
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
@@ -603,6 +605,44 @@ def simulate_vectorized(
     )
 
 
+def _snapshot_state(predictor: BranchPredictor) -> dict:
+    """Copy the mutable state a fast engine could dirty before failing.
+
+    Covers every family the fast tiers dispatch (bank/banks counter
+    arrays, the agree PHT + bias latches, the history register) with
+    flat ``list`` copies — cheap even for million-entry tables, unlike
+    a deepcopy of the predictor object.
+    """
+    state: dict = {}
+    if hasattr(predictor, "banks"):
+        state["banks"] = [list(bank.counters.values) for bank in predictor.banks]
+    if hasattr(predictor, "bank"):
+        state["bank"] = list(predictor.bank.counters.values)
+    if hasattr(predictor, "pht"):
+        state["pht"] = list(predictor.pht.counters.values)
+    if hasattr(predictor, "_bias"):
+        state["bias"] = list(predictor._bias)
+    history = getattr(predictor, "history", None)
+    if history is not None:
+        state["history"] = history.value
+    return state
+
+
+def _restore_state(predictor: BranchPredictor, state: dict) -> None:
+    """Write a :func:`_snapshot_state` copy back into the predictor."""
+    if "banks" in state:
+        for bank, values in zip(predictor.banks, state["banks"]):
+            bank.counters.values[:] = values
+    if "bank" in state:
+        predictor.bank.counters.values[:] = state["bank"]
+    if "pht" in state:
+        predictor.pht.counters.values[:] = state["pht"]
+    if "bias" in state:
+        predictor._bias[:] = state["bias"]
+    if "history" in state:
+        predictor.history.value = state["history"]
+
+
 def simulate_fast(
     predictor: BranchPredictor,
     trace: Trace,
@@ -625,13 +665,40 @@ def simulate_fast(
        counter loop;
     3. the generic interpreter for everything else (tagged, per-address,
        hybrid and custom-skew schemes).
+
+    A fast tier that *raises* degrades gracefully instead of killing
+    the sweep: the predictor's state is rolled back to the pre-attempt
+    snapshot, a ``RuntimeWarning`` records the failure, and the next
+    tier runs — every tier is bit-identical, so the degraded result is
+    too.  The generic interpreter is the reference implementation and
+    the final tier; its errors propagate.  The ``kernel-scan`` /
+    ``kernel-vectorized`` fault sites (:mod:`repro.resilience.faults`)
+    inject tier failures deterministically to prove that path.
     """
     # Imported lazily: scan builds on this module's index streams, so a
     # top-level import here would be circular.
     from repro.sim.scan import scan_supports, simulate_scan
 
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+
+    tiers = []
     if scan_supports(predictor, trace):
-        return simulate_scan(predictor, trace, warmup=warmup, label=label)
+        tiers.append(("kernel-scan", "scan", simulate_scan))
     if supports(predictor, trace):
-        return simulate_vectorized(predictor, trace, warmup=warmup, label=label)
+        tiers.append(("kernel-vectorized", "vectorized", simulate_vectorized))
+    for site, tier_name, engine in tiers:
+        snapshot = _snapshot_state(predictor)
+        try:
+            maybe_fail(site)
+            return engine(predictor, trace, warmup=warmup, label=label)
+        except Exception as exc:
+            _restore_state(predictor, snapshot)
+            warnings.warn(
+                f"{tier_name} engine failed on "
+                f"{label or predictor.name} / {trace.name} ({exc!r}); "
+                "falling back one tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return simulate(predictor, trace, warmup=warmup, label=label)

@@ -10,9 +10,14 @@ every shape parameter), so any config change produces a new cache entry
 and stale hits are impossible.
 
 Entries are stored in the existing ``.npz`` trace format
-(:mod:`repro.traces.io`), written atomically (temp file + ``os.replace``)
-so concurrent workers never observe half-written files.  A corrupt or
-unreadable entry is dropped and silently regenerated.
+(:mod:`repro.traces.io`), written atomically (temp file + ``os.replace``
+via :mod:`repro.util.atomic`) so concurrent workers never observe
+half-written files.  A corrupt entry — truncated, bit-flipped (the zip
+CRC catches payload damage) or otherwise unreadable — is detected at
+load, counted under ``errors``, dropped, and regenerated, so a damaged
+cache can never poison results.  The ``cache-read`` / ``cache-write``
+fault sites (:mod:`repro.resilience.faults`) exercise exactly those
+paths on demand.
 
 The cache directory resolves, in order:
 
@@ -36,9 +41,11 @@ import os
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.resilience.faults import InjectedFault, fault_active
 from repro.traces.io import load_trace, save_trace
 from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
 from repro.traces.trace import Trace
+from repro.util.atomic import atomic_path
 
 __all__ = [
     "CACHE_ENV_VAR",
@@ -143,6 +150,8 @@ def generate_trace_cached(config: WorkloadConfig) -> Trace:
 
     if path.exists():
         try:
+            if fault_active("cache-read"):
+                raise InjectedFault("cache-read")
             trace = load_trace(path)
         except Exception:
             _STATS["errors"] += 1
@@ -157,12 +166,14 @@ def generate_trace_cached(config: WorkloadConfig) -> Trace:
     _STATS["misses"] += 1
     trace = generate_trace(config)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
         # numpy appends ".npz" when the target lacks it, so keep the
-        # temp suffix; os.replace makes the publish atomic.
-        temp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
-        save_trace(trace, temp)
-        os.replace(temp, path)
+        # temp suffix; atomic_path makes the publish atomic.
+        with atomic_path(path, suffix=".npz") as temp:
+            save_trace(trace, temp)
+            if fault_active("cache-write"):
+                # Injected write corruption: publish a truncated entry so
+                # the *next* load exercises detect-and-regenerate.
+                temp.write_bytes(temp.read_bytes()[:32])
         _STATS["stores"] += 1
     except OSError:
         _STATS["errors"] += 1

@@ -1,0 +1,5 @@
+"""Small shared utilities with no simulation semantics of their own."""
+
+from repro.util.atomic import atomic_path, atomic_write_bytes, atomic_write_text
+
+__all__ = ["atomic_path", "atomic_write_bytes", "atomic_write_text"]

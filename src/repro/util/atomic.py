@@ -1,0 +1,64 @@
+"""Atomic file publication: temp file + ``os.replace``.
+
+Several subsystems publish files that other processes may read at any
+moment — trace-cache entries, experiment checkpoints, the lint
+baseline.  All of them need the same discipline: write the complete
+payload to a temporary sibling, then :func:`os.replace` it into place,
+so a reader never observes a half-written file and a crashed writer
+leaves at worst an orphaned temp file (cleaned up on the next attempt's
+``finally``), never a corrupt published one.
+
+:func:`atomic_path` is the primitive (a context manager yielding the
+temp path, for writers like ``np.savez`` that insist on writing the
+file themselves); :func:`atomic_write_text` / :func:`atomic_write_bytes`
+are the common one-shot forms.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["atomic_path", "atomic_write_bytes", "atomic_write_text"]
+
+
+@contextmanager
+def atomic_path(
+    path: Union[str, Path], suffix: str = ""
+) -> Iterator[Path]:
+    """Yield a temp path; publish it to ``path`` if the body succeeds.
+
+    The temp file lives in the target directory (``os.replace`` must not
+    cross filesystems) and carries the writer's PID, so concurrent
+    writers never collide.  ``suffix`` is appended to the temp name for
+    writers that key behaviour off the extension (``np.savez`` appends
+    ``.npz`` to anything that lacks it).  On an exception the temp file
+    is removed and nothing is published.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.parent / f".{path.stem}.{os.getpid()}.tmp{suffix}"
+    try:
+        yield temp
+        os.replace(temp, path)
+    finally:
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically publish ``data`` at ``path``."""
+    with atomic_path(path) as temp:
+        temp.write_bytes(data)
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically publish ``text`` at ``path``."""
+    with atomic_path(path) as temp:
+        temp.write_text(text, encoding=encoding)

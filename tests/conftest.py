@@ -4,6 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate tests/golden/golden_rates.json from the current "
+            "engines instead of asserting against it"
+        ),
+    )
+
 from repro.traces.synthetic.behavior import BehaviorMix
 from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
 from repro.traces.synthetic.kernel import SchedulerConfig

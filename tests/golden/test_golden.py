@@ -1,0 +1,113 @@
+"""Golden regression suite: pinned misprediction counts per workload.
+
+The differential suites prove the engines agree with *each other*; this
+suite pins them to *checked-in numbers*, so any drift in the trace
+substrate (generator, scheduler, behaviour models), the predictors or
+any engine tier shows up as a diff against ``golden_rates.json`` —
+including drift that moves all tiers in lockstep, which no equivalence
+test can see.
+
+Each of the six IBS-named workloads runs at a small scale through every
+engine tier (generic interpreter, vectorized loop, transition scan) for
+a spec family all three can express.  Counts are exact integers — the
+engines are deterministic and bit-identical, so the comparison is
+equality, not a tolerance.
+
+After an *intentional* change to traces or predictors, refresh with::
+
+    pytest tests/golden --update-golden
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.sim.scan import simulate_scan
+from repro.sim.vectorized import simulate_vectorized
+from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden_rates.json"
+
+#: Small enough to keep 6 workloads x 3 specs x 3 tiers cheap, large
+#: enough that every workload has thousands of conditional branches.
+GOLDEN_SCALE = 0.05
+
+#: One spec per engine-relevant family, all expressible by all three
+#: tiers (always-update, default skew family, in-range geometry).
+GOLDEN_SPECS = [
+    "bimodal:512",
+    "gshare:512:h8",
+    "gskew:3x256:h6:total",
+]
+
+ENGINES = {
+    "generic": simulate,
+    "vectorized": simulate_vectorized,
+    "scan": simulate_scan,
+}
+
+
+def _measure(workload: str, spec: str, engine) -> dict:
+    trace = ibs_trace(workload, GOLDEN_SCALE)
+    result = engine(make_predictor(spec), trace, label=spec)
+    return {
+        "branches": result.conditional_branches,
+        "misses": result.mispredictions,
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; generate it with "
+            "`pytest tests/golden --update-golden`"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_update_golden(request):
+    """With ``--update-golden``: regenerate the file (generic tier)."""
+    if not request.config.getoption("--update-golden"):
+        pytest.skip("refresh path; pass --update-golden to run")
+    golden = {
+        "scale": GOLDEN_SCALE,
+        "workloads": {
+            workload: {
+                spec: _measure(workload, spec, simulate)
+                for spec in GOLDEN_SPECS
+            }
+            for workload in IBS_BENCHMARKS
+        },
+    }
+    GOLDEN_PATH.write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_golden_covers_exactly_the_matrix():
+    golden = _load_golden()
+    assert golden["scale"] == GOLDEN_SCALE
+    assert sorted(golden["workloads"]) == sorted(IBS_BENCHMARKS)
+    for per_spec in golden["workloads"].values():
+        assert sorted(per_spec) == sorted(GOLDEN_SPECS)
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("spec", GOLDEN_SPECS)
+@pytest.mark.parametrize("workload", IBS_BENCHMARKS)
+def test_rates_match_golden(workload, spec, engine_name):
+    golden = _load_golden()
+    expected = golden["workloads"][workload][spec]
+    actual = _measure(workload, spec, ENGINES[engine_name])
+    assert actual == expected, (
+        f"{workload}/{spec} on the {engine_name} engine drifted from "
+        f"golden; if intentional, refresh with --update-golden"
+    )

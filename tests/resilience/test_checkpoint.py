@@ -1,0 +1,111 @@
+"""Unit tests for the per-experiment checkpoint store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.checkpoint import CheckpointStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path, meta={"scale": 0.5})
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, store):
+        store.store("figure5", {"report": "table\nrows"})
+        assert store.load("figure5") == {"report": "table\nrows"}
+        assert store.errors == 0
+
+    def test_missing_entry_is_none(self, store):
+        assert store.load("figure5") is None
+        assert store.errors == 0
+
+    def test_snapshot_is_valid_sorted_json(self, store):
+        store.store("figure5", {"report": "r"})
+        payload = json.loads(store.path("figure5").read_text())
+        assert payload == {
+            "version": 1,
+            "name": "figure5",
+            "meta": {"scale": 0.5},
+            "result": {"report": "r"},
+        }
+
+    def test_store_overwrites(self, store):
+        store.store("figure5", {"report": "old"})
+        store.store("figure5", {"report": "new"})
+        assert store.load("figure5") == {"report": "new"}
+
+    def test_unsafe_names_map_to_safe_paths(self, store):
+        store.store("skew/functions:v2", {"report": "r"})
+        path = store.path("skew/functions:v2")
+        assert path.parent == store.directory
+        assert store.load("skew/functions:v2") == {"report": "r"}
+
+    def test_no_temp_files_left_behind(self, store):
+        store.store("figure5", {"report": "r"})
+        assert [p.name for p in store.directory.iterdir()] == ["figure5.json"]
+
+
+class TestRefusal:
+    """Everything ``load`` must refuse to serve (returning ``None``)."""
+
+    def test_corrupt_json_counted_and_unlinked(self, store):
+        store.store("figure5", {"report": "r"})
+        path = store.path("figure5")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load("figure5") is None
+        assert store.errors == 1
+        assert not path.exists()
+
+    def test_non_object_payload_refused(self, store):
+        store.path("figure5").parent.mkdir(parents=True, exist_ok=True)
+        store.path("figure5").write_text('["not", "an", "object"]')
+        assert store.load("figure5") is None
+        assert store.errors == 1
+
+    def test_non_object_result_refused(self, store):
+        store.path("figure5").parent.mkdir(parents=True, exist_ok=True)
+        store.path("figure5").write_text(
+            json.dumps({"version": 1, "name": "figure5",
+                        "meta": {"scale": 0.5}, "result": "oops"})
+        )
+        assert store.load("figure5") is None
+        assert store.errors == 1
+
+    def test_meta_mismatch_forces_recompute(self, store, tmp_path):
+        store.store("figure5", {"report": "scale-0.5 numbers"})
+        other = CheckpointStore(tmp_path, meta={"scale": 1.0})
+        assert other.load("figure5") is None
+        # A mismatch is not corruption: the entry stays for the run that
+        # owns it, and no error is counted.
+        assert other.errors == 0
+        assert store.load("figure5") is not None
+
+    def test_version_mismatch_forces_recompute(self, store):
+        store.store("figure5", {"report": "r"})
+        path = store.path("figure5")
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        assert store.load("figure5") is None
+
+    def test_renamed_entry_refused(self, store):
+        store.store("figure5", {"report": "r"})
+        store.path("figure5").rename(store.path("figure6"))
+        assert store.load("figure6") is None
+
+
+class TestCompleted:
+    def test_lists_only_servable_entries_sorted(self, store):
+        store.store("figure9", {"report": "r9"})
+        store.store("figure3", {"report": "r3"})
+        store.store("figure5", {"report": "r5"})
+        store.path("figure5").write_text("{corrupt")
+        assert store.completed() == ["figure3", "figure9"]
+
+    def test_empty_without_directory(self, tmp_path):
+        assert CheckpointStore(tmp_path / "never-created").completed() == []

@@ -1,0 +1,137 @@
+"""End-to-end recovery: every fault class heals with identical results.
+
+The acceptance bar for the resilience layer is *byte-identity*: a run
+that hit injected worker crashes, hangs or kernel failures must produce
+exactly the results of a fault-free run, with the recovery visible only
+in warnings and counters.  These tests inject each fault class through
+``REPRO_FAULTS`` and compare against clean baselines.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.sim.parallel import run_cells, recovery_stats
+from repro.sim.vectorized import _snapshot_state, simulate_fast
+
+#: One spec per dispatch tier: scan-expressible, vectorized-only
+#: (coupled update), and generic-only (per-address history).
+SCAN_SPEC = "gshare:512:h8"
+VECTOR_SPEC = "gskew:3x64:h4:partial"
+GENERIC_SPEC = "fa:16:h3"
+
+SWEEP_SPECS = [SCAN_SPEC, VECTOR_SPEC, GENERIC_SPEC, "bimodal:256"]
+
+
+def _clean_fast(spec, trace):
+    """A fault-free ``simulate_fast`` baseline (result, final state)."""
+    predictor = make_predictor(spec)
+    result = simulate_fast(predictor, trace, label=spec)
+    return result, _snapshot_state(predictor)
+
+
+class TestKernelDegradation:
+    def test_scan_failure_degrades_bit_identically(self, fault_env, tiny_trace):
+        expected, expected_state = _clean_fast(SCAN_SPEC, tiny_trace)
+        fault_env("kernel-scan@1")
+        predictor = make_predictor(SCAN_SPEC)
+        with pytest.warns(RuntimeWarning, match="scan engine failed"):
+            degraded = simulate_fast(predictor, tiny_trace, label=SCAN_SPEC)
+        assert degraded == expected
+        # The failed tier's partial work was rolled back: the surviving
+        # tier left the same final counters and history as a clean run.
+        assert _snapshot_state(predictor) == expected_state
+
+    def test_vectorized_failure_degrades_bit_identically(
+        self, fault_env, tiny_trace
+    ):
+        expected, expected_state = _clean_fast(VECTOR_SPEC, tiny_trace)
+        fault_env("kernel-vectorized@1")
+        predictor = make_predictor(VECTOR_SPEC)
+        with pytest.warns(RuntimeWarning, match="vectorized engine failed"):
+            degraded = simulate_fast(predictor, tiny_trace, label=VECTOR_SPEC)
+        assert degraded == expected
+        assert _snapshot_state(predictor) == expected_state
+
+    def test_all_fast_tiers_failing_reaches_the_generic_engine(
+        self, fault_env, tiny_trace
+    ):
+        reference = simulate(
+            make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
+        )
+        fault_env("kernel-scan@1,kernel-vectorized@1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = simulate_fast(
+                make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
+            )
+        assert degraded == reference
+        messages = [str(w.message) for w in caught]
+        assert any("scan engine failed" in m for m in messages)
+        assert any("vectorized engine failed" in m for m in messages)
+
+    def test_fault_consumed_then_clean(self, fault_env, tiny_trace):
+        """A one-arrival window fires once; the next call is fault-free."""
+        expected, _ = _clean_fast(SCAN_SPEC, tiny_trace)
+        fault_env("kernel-scan@1")
+        with pytest.warns(RuntimeWarning):
+            simulate_fast(
+                make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean = simulate_fast(
+                make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
+            )
+        assert clean == expected
+
+
+@pytest.mark.slow
+class TestWorkerRecovery:
+    """Pool-level faults; each grid must match the serial baseline."""
+
+    def _cells(self):
+        return [(0, spec) for spec in SWEEP_SPECS]
+
+    def _serial(self, trace):
+        return run_cells([trace], self._cells(), 1)
+
+    def test_crashed_chunk_is_retried(self, fault_env, tiny_trace):
+        expected = self._serial(tiny_trace)
+        fault_env("worker-crash@1")
+        results = run_cells([tiny_trace], self._cells(), 2)
+        assert results == expected
+        stats = recovery_stats()
+        assert stats["retries"] >= 1
+        assert stats["timeouts"] == 0
+        assert stats["serial_cells"] == 0
+
+    def test_persistent_crashes_fall_back_to_serial(
+        self, fault_env, tiny_trace
+    ):
+        expected = self._serial(tiny_trace)
+        fault_env("worker-crash@1-")
+        with pytest.warns(RuntimeWarning, match="computing .* serially"):
+            results = run_cells([tiny_trace], self._cells(), 2)
+        assert results == expected
+        stats = recovery_stats()
+        # Every chunk exhausted its retries, then ran in the parent.
+        assert stats["serial_cells"] == len(self._cells())
+        assert stats["retries"] > 0
+
+    def test_hung_worker_times_out_and_finishes_serially(
+        self, fault_env, monkeypatch, tiny_trace
+    ):
+        expected = self._serial(tiny_trace)
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "1")
+        fault_env("worker-hang@1")
+        with pytest.warns(RuntimeWarning, match="timeout"):
+            results = run_cells([tiny_trace], self._cells(), 2)
+        assert results == expected
+        stats = recovery_stats()
+        assert stats["timeouts"] == 1
+        assert stats["serial_cells"] == len(self._cells())

@@ -1,0 +1,137 @@
+"""Checkpoint/resume: interrupted batch runs finish byte-identically.
+
+Both experiment drivers — ``repro-experiments`` (the runner CLI) and
+``tools/run_full_experiments.py`` — snapshot finished experiments and
+serve them on ``--resume``.  Because experiments are deterministic, a
+run that was killed halfway and resumed must emit exactly the reports
+and summary of an uninterrupted run, recomputing only what never
+finished.  ``figure3``/``figure4`` are used throughout: they are the
+cheapest experiments (no scale parameter, sub-second).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+
+EXPERIMENTS = ["figure3", "figure4"]
+
+_TOOL_PATH = (
+    Path(__file__).resolve().parents[2] / "tools" / "run_full_experiments.py"
+)
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location(
+        "run_full_experiments", _TOOL_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunnerResume:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["figure3", "--resume"])
+        assert excinfo.value.code == 2
+
+    def test_interrupted_run_resumes_byte_identically(self, tmp_path, capsys):
+        fresh_dir = tmp_path / "fresh"
+        resumed_dir = tmp_path / "resumed"
+
+        assert runner.main(
+            EXPERIMENTS + ["--checkpoint-dir", str(fresh_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        # "Interrupted" run: only the first experiment finished.
+        assert runner.main(
+            ["figure3", "--checkpoint-dir", str(resumed_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        assert runner.main(
+            EXPERIMENTS + ["--checkpoint-dir", str(resumed_dir), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=== figure3 (from checkpoint) ===" in out
+        assert "=== figure4 ===" in out  # recomputed, not served
+
+        for name in EXPERIMENTS:
+            fresh = (fresh_dir / f"{name}.json").read_bytes()
+            resumed = (resumed_dir / f"{name}.json").read_bytes()
+            assert fresh == resumed
+
+    def test_resume_at_other_settings_recomputes(self, tmp_path, capsys):
+        directory = tmp_path / "ckpt"
+        assert runner.main(
+            ["figure3", "--checkpoint-dir", str(directory)]
+        ) == 0
+        capsys.readouterr()
+        # Same experiment, different scale: the snapshot must not be
+        # served even though figure3 happens to ignore scale.
+        assert runner.main(
+            ["figure3", "--checkpoint-dir", str(directory),
+             "--resume", "--scale", "0.5"]
+        ) == 0
+        assert "from checkpoint" not in capsys.readouterr().out
+
+
+class TestToolResume:
+    def _run(self, tool, out, names, resume=False):
+        argv = ["--out", str(out)] + (["--resume"] if resume else []) + names
+        assert tool.main(argv) == 0
+
+    def test_interrupted_run_resumes_byte_identically(
+        self, tool, tmp_path, capsys
+    ):
+        fresh = tmp_path / "fresh"
+        resumed = tmp_path / "resumed"
+
+        self._run(tool, fresh, EXPERIMENTS)
+        capsys.readouterr()
+
+        self._run(tool, resumed, ["figure3"])
+        capsys.readouterr()
+        self._run(tool, resumed, EXPERIMENTS, resume=True)
+        out = capsys.readouterr().out
+        assert "figure3: from checkpoint" in out
+        assert "figure4: from checkpoint" not in out
+
+        assert (
+            (fresh / "summary.txt").read_bytes()
+            == (resumed / "summary.txt").read_bytes()
+        )
+        for name in EXPERIMENTS:
+            assert (
+                (fresh / f"{name}.txt").read_bytes()
+                == (resumed / f"{name}.txt").read_bytes()
+            )
+
+    def test_corrupt_checkpoint_recomputes_identically(
+        self, tool, tmp_path, capsys
+    ):
+        out = tmp_path / "run"
+        self._run(tool, out, EXPERIMENTS)
+        baseline = (out / "summary.txt").read_bytes()
+
+        snapshot = out / ".checkpoints" / "figure3.json"
+        snapshot.write_text(snapshot.read_text()[:40])
+        capsys.readouterr()
+        self._run(tool, out, EXPERIMENTS, resume=True)
+        console = capsys.readouterr().out
+        # figure3's snapshot was refused and the experiment recomputed;
+        # figure4's intact snapshot was served.
+        assert "figure3: from checkpoint" not in console
+        assert "figure4: from checkpoint" in console
+        assert (out / "summary.txt").read_bytes() == baseline
+        # The recomputed experiment re-published a servable snapshot.
+        payload = json.loads(snapshot.read_text())
+        assert payload["name"] == "figure3"

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 import repro.sim.parallel as parallel_module
 from repro.sim.parallel import (
@@ -21,6 +22,8 @@ from repro.sim.parallel import (
     simulate_specs,
 )
 from repro.sim.sweep import sweep_specs
+
+from tests.strategies import traces as trace_strategy
 
 
 class TestResolveJobs:
@@ -71,6 +74,41 @@ class TestRunCells:
         assert run_cells([tiny_trace], cells, jobs=0) == run_cells(
             [tiny_trace], cells, jobs=1
         )
+
+
+@pytest.mark.slow
+class TestFuzzParallelDispatch:
+    # Differential fuzz over the whole dispatch stack: ad-hoc traces
+    # (shipped through the pool initializer as literal columns, the
+    # non-memoised descriptor path) must produce the same grid under
+    # jobs=2 as under the no-pool serial path.  Few examples: each one
+    # forks a pool.
+    @given(
+        trace=trace_strategy(max_length=60),
+        specs=st.lists(
+            st.sampled_from(
+                [
+                    "bimodal:16",
+                    "gshare:16:h4",
+                    "gskew:3x16:h3:total",
+                    "gskew:3x16:h3:partial",
+                    "fa:16:h3",
+                ]
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_jobs2_matches_serial(self, trace, specs):
+        cells = [(0, spec) for spec in specs]
+        serial = run_cells([trace], cells, jobs=1)
+        parallel = run_cells([trace], cells, jobs=2)
+        assert parallel == serial
 
 
 class TestChunking:

@@ -22,6 +22,8 @@ from repro.sim.scan import counter_scan, scan_supports, simulate_scan
 from repro.sim.vectorized import simulate_fast
 from repro.traces.trace import Trace
 
+from tests.strategies import traces as trace_strategy
+
 #: Every spec family the scan engine claims (always-update: the
 #: coupling argument in the module docstring excludes multi-bank
 #: PARTIAL/LAZY), including degenerate geometries: one-entry tables,
@@ -265,39 +267,20 @@ class TestCounterScanKernel:
         assert predictions.tolist() == expected.tolist()
         assert finals.tolist() == expected_finals.tolist()
 
-    @given(data=st.data())
+    @given(
+        spec=st.sampled_from(
+            [
+                "bimodal:8",
+                "gshare:16:h4",
+                "gselect:16:h3",
+                "gskew:3x16:h3:total",
+                "agree:16:h3",
+            ]
+        ),
+        trace=trace_strategy(),
+    )
     @settings(max_examples=40, deadline=None)
-    def test_random_traces_match_generic_engine(self, data):
-        spec = data.draw(
-            st.sampled_from(
-                [
-                    "bimodal:8",
-                    "gshare:16:h4",
-                    "gselect:16:h3",
-                    "gskew:3x16:h3:total",
-                    "agree:16:h3",
-                ]
-            ),
-            label="spec",
-        )
-        length = data.draw(st.integers(0, 120), label="length")
-        pcs = data.draw(
-            st.lists(
-                st.integers(0, 0xFF).map(lambda word: word << 2),
-                min_size=length,
-                max_size=length,
-            ),
-            label="pcs",
-        )
-        takens = data.draw(
-            st.lists(st.integers(0, 1), min_size=length, max_size=length),
-            label="takens",
-        )
-        conditionals = data.draw(
-            st.lists(st.integers(0, 1), min_size=length, max_size=length),
-            label="conditionals",
-        )
-        trace = Trace.from_columns(pcs, takens, conditionals, name="hypothesis")
+    def test_random_traces_match_generic_engine(self, spec, trace):
         expected = simulate(make_predictor(spec), trace)
         actual = simulate_scan(make_predictor(spec), trace)
         assert actual == expected

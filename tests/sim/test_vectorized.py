@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.egskew import EnhancedSkewedPredictor
 from repro.sim.config import make_predictor
@@ -21,6 +22,8 @@ from repro.sim.vectorized import (
     simulate_vectorized,
     supports,
 )
+
+from tests.strategies import traces as trace_strategy
 
 #: Every spec family the vectorized engine claims to support, including
 #: all three skewed-update policies, 1/3/5-bank gskew, gshare history
@@ -105,6 +108,29 @@ class TestEquivalence:
         actual = simulate_vectorized(candidate, tiny_trace)
         assert actual == expected
         assert _counter_state(candidate) == _counter_state(reference)
+
+
+class TestFuzzEquivalence:
+    # The coupled-update policies (multi-bank PARTIAL/LAZY) have no
+    # scan path, so this is the only fuzz that reaches the sequential
+    # counter loop; the spec pool mirrors the scan suite's otherwise.
+    @given(
+        spec=st.sampled_from(
+            [
+                "bimodal:8",
+                "gshare:16:h4",
+                "gskew:3x16:h3:partial",
+                "gskew:3x16:h3:lazy",
+                "egskew:3x16:h3:partial",
+            ]
+        ),
+        trace=trace_strategy(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_traces_match_generic_engine(self, spec, trace):
+        expected = simulate(make_predictor(spec), trace)
+        actual = simulate_vectorized(make_predictor(spec), trace)
+        assert actual == expected
 
 
 class TestDispatch:

@@ -1,12 +1,16 @@
 """Tests for windowed misprediction measurement."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.static import AlwaysTakenPredictor
+from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
 from repro.sim.windowed import windowed_misprediction
 from repro.traces.trace import BranchRecord, Trace
+
+from tests.strategies import traces as trace_strategy
 
 
 def _trace(outcomes):
@@ -64,6 +68,32 @@ class TestWindowing:
     def test_validation(self):
         with pytest.raises(ValueError):
             windowed_misprediction(AlwaysTakenPredictor(), _trace([]), window=0)
+
+
+class TestFuzzDifferential:
+    # Windowed measurement re-implements the simulation loop (it
+    # interleaves window bookkeeping with predict/update); random
+    # traces pin its totals to the generic engine's.
+    @given(
+        spec=st.sampled_from(
+            ["bimodal:8", "gshare:16:h4", "gskew:3x16:h3:partial"]
+        ),
+        trace=trace_strategy(),
+        window=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_totals_match_generic_engine(self, spec, trace, window):
+        result = windowed_misprediction(
+            make_predictor(spec), trace, window=window
+        )
+        direct = simulate(make_predictor(spec), trace)
+        assert sum(result.misses) == direct.mispredictions
+        assert sum(result.branches) == direct.conditional_branches
+        # Window partitioning is exact: every full window holds
+        # `window` branches, only the final one may be short.
+        assert all(b == window for b in result.branches[:-1])
+        if result.branches:
+            assert 1 <= result.branches[-1] <= window
 
 
 class TestPhases:

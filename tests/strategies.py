@@ -1,0 +1,54 @@
+"""Shared hypothesis strategies for differential engine fuzzing.
+
+Every differential suite (scan vs generic, vectorized vs generic,
+windowed vs generic, parallel vs serial) wants the same inputs: short
+random traces with word-aligned PCs, arbitrary outcomes and a mix of
+conditional/unconditional events, plus a spec drawn from the family
+under test.  Drawing them from one place keeps the trace shape — the
+part that decides what the fuzz can reach (aliasing, history folding,
+unconditional shifts) — identical across suites.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.traces.trace import Trace
+
+__all__ = ["trace_columns", "traces"]
+
+
+@st.composite
+def trace_columns(draw, max_length: int = 120):
+    """Draw aligned ``(pcs, takens, conditionals)`` column lists.
+
+    PCs are word-aligned and span 8 bits of word address, so short
+    traces still alias in small tables; outcomes and conditional flags
+    are unconstrained (unconditional events exercise the history-shift
+    path every engine must agree on).
+    """
+    length = draw(st.integers(0, max_length), label="length")
+    pcs = draw(
+        st.lists(
+            st.integers(0, 0xFF).map(lambda word: word << 2),
+            min_size=length,
+            max_size=length,
+        ),
+        label="pcs",
+    )
+    takens = draw(
+        st.lists(st.integers(0, 1), min_size=length, max_size=length),
+        label="takens",
+    )
+    conditionals = draw(
+        st.lists(st.integers(0, 1), min_size=length, max_size=length),
+        label="conditionals",
+    )
+    return pcs, takens, conditionals
+
+
+@st.composite
+def traces(draw, max_length: int = 120, name: str = "hypothesis"):
+    """Draw a :class:`~repro.traces.trace.Trace` (see :func:`trace_columns`)."""
+    pcs, takens, conditionals = draw(trace_columns(max_length=max_length))
+    return Trace.from_columns(pcs, takens, conditionals, name=name)

@@ -68,7 +68,10 @@ def test_conditional_fraction_sane(config):
     if len(trace) < 500:
         return
     fraction = trace.conditional_count / len(trace)
-    assert 0.25 < fraction < 0.98
+    # Upper bound leaves room for the loop-heavy corner: with
+    # loop_trip_mean=60 nearly every event is a conditional loop branch
+    # and only calls/returns are unconditional (~1/60 of events).
+    assert 0.25 < fraction < 0.995
 
 
 @given(configs)

@@ -16,6 +16,7 @@ from repro.traces.cache import (
     reset_cache_stats,
     trace_cache_path,
 )
+from repro.resilience.faults import FAULTS_ENV_VAR, reset_faults
 from repro.traces.synthetic.behavior import BehaviorMix
 from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
 
@@ -102,7 +103,7 @@ class TestGenerateTraceCached:
         assert cache_stats()["misses"] == 2
         assert len(list(cache_in_tmp.glob("*.npz"))) == 2
 
-    def test_corrupt_entry_regenerates(self, cache_in_tmp):
+    def test_truncated_entry_regenerates(self, cache_in_tmp):
         config = _config()
         expected = generate_trace_cached(config)
         path = trace_cache_path(config)
@@ -113,6 +114,71 @@ class TestGenerateTraceCached:
         assert stats["errors"] == 1 and stats["misses"] == 2
         # The corrupt file was replaced by a fresh, loadable entry.
         assert cache_stats()["stores"] == 2
+        generate_trace_cached(config)
+        assert cache_stats()["hits"] == 1
+
+    def test_bit_flipped_entry_regenerates(self, cache_in_tmp):
+        """Payload damage (not just truncation) is caught by the zip CRC."""
+        config = _config()
+        expected = generate_trace_cached(config)
+        path = trace_cache_path(config)
+        blob = bytearray(path.read_bytes())
+        # Flip bits deep inside the array payload, far from the zip
+        # directory, so only the CRC check can notice.
+        middle = len(blob) // 2
+        for offset in range(middle, middle + 8):
+            blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        reloaded = generate_trace_cached(config)
+        _assert_traces_equal(reloaded, expected)
+        stats = cache_stats()
+        assert stats["errors"] == 1 and stats["misses"] == 2
+        # The damaged file was dropped and replaced by a loadable entry.
+        generate_trace_cached(config)
+        assert cache_stats()["hits"] == 1
+
+
+class TestFaultInjection:
+    """The ``cache-read`` / ``cache-write`` sites drive the same paths."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        reset_faults()
+        yield
+        reset_faults()
+
+    def test_injected_read_fault_counts_and_regenerates(
+        self, cache_in_tmp, monkeypatch
+    ):
+        config = _config()
+        expected = generate_trace_cached(config)
+        monkeypatch.setenv(FAULTS_ENV_VAR, "cache-read@1")
+        reset_faults()
+        reloaded = generate_trace_cached(config)
+        _assert_traces_equal(reloaded, expected)
+        stats = cache_stats()
+        assert stats["errors"] == 1 and stats["misses"] == 2
+        # The fault window is consumed; the regenerated entry now hits.
+        generate_trace_cached(config)
+        assert cache_stats()["hits"] == 1
+
+    def test_injected_write_corruption_detected_on_next_read(
+        self, cache_in_tmp, monkeypatch
+    ):
+        config = _config()
+        monkeypatch.setenv(FAULTS_ENV_VAR, "cache-write@1")
+        reset_faults()
+        first = generate_trace_cached(config)  # publishes a corrupt entry
+        _assert_traces_equal(first, generate_trace(config))
+        monkeypatch.delenv(FAULTS_ENV_VAR)
+        reset_faults()
+        second = generate_trace_cached(config)
+        _assert_traces_equal(second, first)
+        stats = cache_stats()
+        # The poisoned entry was detected, dropped and re-stored clean.
+        assert stats["errors"] == 1
+        assert stats["misses"] == 2 and stats["stores"] == 2
         generate_trace_cached(config)
         assert cache_stats()["hits"] == 1
 

@@ -1,0 +1,66 @@
+"""Tests for the shared temp-file + ``os.replace`` publication helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.atomic import atomic_path, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicPath:
+    def test_publishes_on_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_path(target) as temp:
+            temp.write_text("payload")
+            assert temp != target
+            assert temp.parent == target.parent  # same-filesystem replace
+            assert not target.exists()
+        assert target.read_text() == "payload"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_publishes_nothing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as temp:
+                temp.write_text("half-writ")
+                raise RuntimeError("writer died")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp cleaned up
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as temp:
+                temp.write_text("new")
+                raise RuntimeError("writer died")
+        assert target.read_text() == "old"
+
+    def test_suffix_lands_on_the_temp_name(self, tmp_path):
+        # np.savez appends ".npz" to names that lack it; the suffix
+        # keeps the temp name stable so the final replace finds it.
+        with atomic_path(tmp_path / "trace.npz", suffix=".npz") as temp:
+            assert temp.name.endswith(".npz")
+            temp.write_bytes(b"zip-ish")
+        assert (tmp_path / "trace.npz").read_bytes() == b"zip-ish"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        with atomic_path(target) as temp:
+            temp.write_text("deep")
+        assert target.read_text() == "deep"
+
+
+class TestOneShotForms:
+    def test_write_text(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "héllo\n")
+        assert (tmp_path / "t.txt").read_text(encoding="utf-8") == "héllo\n"
+
+    def test_write_bytes(self, tmp_path):
+        atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\x01"
+
+    def test_overwrites_existing(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "first")
+        atomic_write_text(tmp_path / "t.txt", "second")
+        assert (tmp_path / "t.txt").read_text() == "second"

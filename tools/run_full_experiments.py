@@ -1,27 +1,59 @@
 """Run every experiment at full default scale and save the reports.
 
 Development tool backing EXPERIMENTS.md: writes one report per
-experiment under benchmarks/results/full/ and a combined log.  A failing
-experiment is reported and skipped rather than aborting the run; the
-final summary line always carries the total elapsed time, and the exit
-status is non-zero if anything raised.
+experiment under benchmarks/results/full/ (override with ``--out``),
+a combined deterministic summary (``summary.txt``: per-experiment
+status + report SHA-256, no timings — byte-identical across reruns and
+resumes), and per-experiment checkpoints under ``<out>/.checkpoints``.
+A failing experiment is reported and skipped rather than aborting the
+run; the console summary line always carries the total elapsed time,
+and the exit status is non-zero if anything raised.
+
+An interrupted run resumes with ``--resume``: experiments with a valid
+checkpoint (same scale) are served from their snapshot, everything
+else is recomputed, and the final ``summary.txt`` comes out identical
+to an uninterrupted run's.
 
 Run:  python tools/run_full_experiments.py [--scale 1.0] [--jobs N]
+      [--out DIR] [--resume] [names...]
 """
 
 import argparse
+import hashlib
 import sys
 import time
 import traceback
 from pathlib import Path
 
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.resilience.checkpoint import CheckpointStore
 from repro.traces.cache import cache_stats
+from repro.util.atomic import atomic_write_text
 
-OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
+)
 
 
-def main() -> int:
+def write_summary(out: Path, scale: float, statuses) -> Path:
+    """Publish the deterministic run summary (no timings, no cache
+    counters — nothing that varies between a fresh and a resumed run)."""
+    lines = [f"scale {scale}"]
+    failed = [name for name, digest in statuses if digest is None]
+    for name, digest in statuses:
+        lines.append(
+            f"{name} FAILED -" if digest is None else f"{name} ok {digest}"
+        )
+    lines.append(
+        f"total {len(statuses)} experiments, "
+        f"{len(statuses) - len(failed)} ok, {len(failed)} failed"
+    )
+    path = out / "summary.txt"
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
@@ -33,40 +65,75 @@ def main() -> int:
             "(0 = one per CPU; default: $REPRO_JOBS, else serial)"
         ),
     )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="output directory for reports, checkpoints and the summary",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve experiments already checkpointed at this scale",
+    )
     parser.add_argument("names", nargs="*", default=[])
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
-    OUT.mkdir(parents=True, exist_ok=True)
+    out = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    store = CheckpointStore(
+        out / ".checkpoints", meta={"scale": args.scale}
+    )
     names = args.names or list(EXPERIMENTS)
-    overall_started = time.time()
+    overall_started = time.perf_counter()
+    statuses = []  # (name, report sha256 hex or None for a failure)
     failures = []
     for name in names:
-        started = time.time()
+        if args.resume:
+            cached = store.load(name)
+            if cached is not None:
+                report = cached["report"]
+                (out / f"{name}.txt").write_text(
+                    report + "\n", encoding="utf-8"
+                )
+                statuses.append((name, _digest(report)))
+                print(f"{name}: from checkpoint -> {out / (name + '.txt')}")
+                continue
+        started = time.perf_counter()
         try:
             report = run_experiment(name, scale=args.scale, jobs=args.jobs)
         except Exception:
             failures.append(name)
-            print(f"{name}: FAILED after {time.time() - started:.1f}s")
+            statuses.append((name, None))
+            print(f"{name}: FAILED after {time.perf_counter() - started:.1f}s")
             traceback.print_exc()
             continue
-        elapsed = time.time() - started
-        (OUT / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
-        print(f"{name}: {elapsed:.1f}s -> {OUT / (name + '.txt')}")
+        elapsed = time.perf_counter() - started
+        (out / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+        store.store(name, {"report": report})
+        statuses.append((name, _digest(report)))
+        print(f"{name}: {elapsed:.1f}s -> {out / (name + '.txt')}")
 
-    total = time.time() - overall_started
+    total = time.perf_counter() - overall_started
     ok = len(names) - len(failures)
     stats = cache_stats()
+    summary_path = write_summary(out, args.scale, statuses)
     print(
         f"trace cache: {stats['hits']} hits, "
         f"{stats['misses']} regenerated, {stats['stores']} stored"
         + (f", {stats['errors']} errors" if stats["errors"] else "")
     )
+    print(f"summary -> {summary_path}")
     print(
         f"total: {total:.1f}s for {len(names)} experiments "
         f"({ok} ok, {len(failures)} failed"
         + (f": {', '.join(failures)})" if failures else ")")
     )
     return 1 if failures else 0
+
+
+def _digest(report: str) -> str:
+    return hashlib.sha256(report.encode("utf-8")).hexdigest()[:16]
 
 
 if __name__ == "__main__":
