@@ -1,9 +1,9 @@
 """R004 — engine parity: fast-path entry points carry equivalence tests.
 
-``sim/vectorized.py``, ``sim/scan.py`` and ``aliasing/vectorized.py``
-re-implement the reference engines in closed form; their correctness
-argument *is* the equivalence suite (bit-identical results on shared
-inputs).  A public function added to any of them without a test
+``sim/vectorized.py``, ``sim/scan.py``, ``sim/scan_grid.py`` and
+``aliasing/vectorized.py`` re-implement the reference engines in closed
+form; their correctness argument *is* the equivalence suite
+(bit-identical results on shared inputs).  A public function added to any of them without a test
 referencing it is an unverified fast path — precisely the hole this
 rule closes.
 
@@ -21,7 +21,12 @@ from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
 
 __all__ = ["EngineParityRule", "public_functions"]
 
-_TARGETS = ("sim/vectorized.py", "sim/scan.py", "aliasing/vectorized.py")
+_TARGETS = (
+    "sim/vectorized.py",
+    "sim/scan.py",
+    "sim/scan_grid.py",
+    "aliasing/vectorized.py",
+)
 
 
 def public_functions(tree: ast.Module) -> List[ast.FunctionDef]:

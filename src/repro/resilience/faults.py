@@ -40,6 +40,10 @@ fires at the same points every run.  The injectable sites:
                        :func:`repro.sim.vectorized.simulate_fast`; the
                        engine raises before touching predictor state
 ``kernel-vectorized``  likewise for the vectorized loop engine
+``kernel-scan-grid``   counted per fused same-trace *group* dispatch in
+                       :mod:`repro.sim.parallel`; the group's grid call
+                       raises before touching predictor state and the
+                       runner recovers it per cell
 =====================  ====================================================
 
 The active plan is re-read from the environment whenever the variable's
@@ -75,6 +79,7 @@ SITES = frozenset(
         "cache-write",
         "kernel-scan",
         "kernel-vectorized",
+        "kernel-scan-grid",
     }
 )
 

@@ -8,10 +8,10 @@ including drift that moves all tiers in lockstep, which no equivalence
 test can see.
 
 Each of the six IBS-named workloads runs at a small scale through every
-engine tier (generic interpreter, vectorized loop, transition scan) for
-a spec family all three can express.  Counts are exact integers — the
-engines are deterministic and bit-identical, so the comparison is
-equality, not a tolerance.
+engine tier (generic interpreter, vectorized loop, transition scan,
+fused sweep-grid) for a spec family every tier can express.  Counts are
+exact integers — the engines are deterministic and bit-identical, so
+the comparison is equality, not a tolerance.
 
 After an *intentional* change to traces or predictors, refresh with::
 
@@ -30,27 +30,48 @@ import pytest
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
 from repro.sim.scan import simulate_scan
+from repro.sim.scan_grid import simulate_grid
 from repro.sim.vectorized import simulate_vectorized
 from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
 
 GOLDEN_PATH = Path(__file__).parent / "golden_rates.json"
 
-#: Small enough to keep 6 workloads x 3 specs x 3 tiers cheap, large
+#: Small enough to keep 6 workloads x 4 specs x 4 tiers cheap, large
 #: enough that every workload has thousands of conditional branches.
 GOLDEN_SCALE = 0.05
 
-#: One spec per engine-relevant family, all expressible by all three
-#: tiers (always-update, default skew family, in-range geometry).
+#: One spec per engine-relevant family, all expressible by every tier
+#: (always-update, default skew family, the PARTIAL vote-wrongness
+#: fixpoint, in-range geometry).
 GOLDEN_SPECS = [
     "bimodal:512",
     "gshare:512:h8",
     "gskew:3x256:h6:total",
+    "gskew:3x256:h6:partial",
 ]
+
+
+def _simulate_grid_pair(predictor, trace, label):
+    """The fused sweep-grid tier, forced through a real fused bucket.
+
+    A single-cell grid would fall back per cell (nothing to amortise),
+    so the golden row runs the spec as a two-member bucket — the fused
+    kernels with the pack cache engaged — and pins both members to the
+    same numbers.
+    """
+    twin = make_predictor(label)
+    first, second = simulate_grid(
+        [predictor, twin], trace, labels=[label, label]
+    )
+    assert first == second
+    return first
+
 
 ENGINES = {
     "generic": simulate,
     "vectorized": simulate_vectorized,
     "scan": simulate_scan,
+    "grid": _simulate_grid_pair,
 }
 
 

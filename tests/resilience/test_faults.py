@@ -149,4 +149,5 @@ class TestInjectedFault:
             "cache-write",
             "kernel-scan",
             "kernel-vectorized",
+            "kernel-scan-grid",
         }

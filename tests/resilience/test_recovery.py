@@ -19,9 +19,10 @@ from repro.sim.parallel import run_cells, recovery_stats
 from repro.sim.vectorized import _snapshot_state, simulate_fast
 
 #: One spec per dispatch tier: scan-expressible, vectorized-only
-#: (coupled update), and generic-only (per-address history).
+#: (multi-bank LAZY is the one coupled policy with no scan path; PARTIAL
+#: scans now), and generic-only (per-address history).
 SCAN_SPEC = "gshare:512:h8"
-VECTOR_SPEC = "gskew:3x64:h4:partial"
+VECTOR_SPEC = "gskew:3x64:h4:lazy"
 GENERIC_SPEC = "fa:16:h3"
 
 SWEEP_SPECS = [SCAN_SPEC, VECTOR_SPEC, GENERIC_SPEC, "bimodal:256"]

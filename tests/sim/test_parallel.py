@@ -14,14 +14,19 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 import repro.sim.parallel as parallel_module
+from repro.resilience.faults import FAULTS_ENV_VAR, reset_faults
+from repro.sim.config import make_predictor
 from repro.sim.parallel import (
     JOBS_ENV_VAR,
     _chunk_cells,
+    grid_fusion_stats,
+    reset_grid_fusion_stats,
     resolve_jobs,
     run_cells,
     simulate_specs,
 )
 from repro.sim.sweep import sweep_specs
+from repro.sim.vectorized import simulate_fast
 
 from tests.strategies import traces as trace_strategy
 
@@ -74,6 +79,57 @@ class TestRunCells:
         assert run_cells([tiny_trace], cells, jobs=0) == run_cells(
             [tiny_trace], cells, jobs=1
         )
+
+
+class TestFusedGroupDispatch:
+    def test_serial_runner_fuses_trace_groups(self, tiny_trace, small_trace):
+        """A trace-major cell list dispatches one grid per trace group."""
+        reset_grid_fusion_stats()
+        specs = ["gshare:128:h4", "gshare:256:h4", "bimodal:128", "fa:16:h3"]
+        cells = [(0, s) for s in specs] + [(1, s) for s in specs]
+        expected = [
+            simulate_fast(
+                make_predictor(spec),
+                [tiny_trace, small_trace][index],
+                label=spec,
+            )
+            for index, spec in cells
+        ]
+        assert run_cells([tiny_trace, small_trace], cells, jobs=1) == expected
+        stats = grid_fusion_stats()
+        assert stats["dispatches"] == 2  # one fused kernel per trace group
+        assert stats["fused_cells"] == 6
+        assert stats["fallback_cells"] == 2
+
+    def test_alternating_traces_group_contiguously(self, tiny_trace):
+        """Grouping splits on trace changes only, preserving cell order."""
+        reset_grid_fusion_stats()
+        cells = [
+            (0, "gshare:128:h4"),
+            (1, "gshare:128:h4"),
+            (0, "bimodal:128"),
+            (0, "gshare:64:h4"),
+        ]
+        traces = [tiny_trace, tiny_trace]
+        expected = [
+            simulate_fast(make_predictor(spec), traces[index], label=spec)
+            for index, spec in cells
+        ]
+        assert run_cells(traces, cells, jobs=1) == expected
+        # Three groups: [0], [1], [0, 0]; only the last can fuse.
+        assert grid_fusion_stats()["dispatches"] <= 1
+
+    def test_grid_failure_recovers_per_cell(self, tiny_trace, monkeypatch):
+        """kernel-scan-grid faults degrade to per-cell, byte-identically."""
+        cells = [(0, "gshare:128:h4"), (0, "gshare:256:h4")]
+        expected = run_cells([tiny_trace], cells, jobs=1)
+        monkeypatch.setenv(FAULTS_ENV_VAR, "kernel-scan-grid@1")
+        reset_faults()
+        with pytest.warns(RuntimeWarning, match="fused grid dispatch"):
+            degraded = run_cells([tiny_trace], cells, jobs=1)
+        monkeypatch.setenv(FAULTS_ENV_VAR, "")
+        reset_faults()
+        assert degraded == expected
 
 
 @pytest.mark.slow

@@ -24,10 +24,11 @@ from repro.traces.trace import Trace
 
 from tests.strategies import traces as trace_strategy
 
-#: Every spec family the scan engine claims (always-update: the
-#: coupling argument in the module docstring excludes multi-bank
-#: PARTIAL/LAZY), including degenerate geometries: one-entry tables,
-#: h=0 (PC-indexed), history folding (h > index bits), 1-bit counters.
+#: Every spec family the scan engine claims, including degenerate
+#: geometries (one-entry tables, h=0 (PC-indexed), history folding
+#: (h > index bits), 1-bit counters) and the coupled paths: multi-bank
+#: PARTIAL rides the vote-wrongness fixpoint kernel, single-bank LAZY
+#: the map-code scan.
 SCAN_SPECS = [
     "bimodal:256",
     "bimodal:256:c1",
@@ -42,22 +43,30 @@ SCAN_SPECS = [
     "gselect:256:h6:c1",
     "gskew:1x256:h6:partial",  # single bank: PARTIAL == always-update
     "gskew:1x256:h6:total",
+    "gskew:1x256:h6:lazy",  # train-on-miss: map-code scan
+    "gskew:1x256:h6:lazy:c1",
     "gskew:3x256:h6:total",
     "gskew:3x256:h6:total:c1",
+    "gskew:3x1k:h6:partial",  # coupled: vote-wrongness fixpoint
+    "gskew:3x1k:h6:partial:c1",
     "gskew:5x128:h6:total",
+    "gskew:5x512:h6:partial",
     "egskew:3x256:h6:total",
+    "egskew:3x1k:h6:partial",
     "agree:256:h5",
     "agree:256:h0",
 ]
 
-#: Index-expressible specs whose banks are coupled through the majority
-#: vote (or whose transition reads the prediction): no scan path.
+#: Index-expressible specs with no scan path: multi-bank LAZY freezes
+#: its counters on every correct vote, so fixpoint perturbations never
+#: wash out (see the scan module docstring), dense multi-bank PARTIAL
+#: (> _MAX_PARTIAL_DENSITY events/entry — 3x16 banks on the ~3k-event
+#: tiny trace) iterates its fixpoint slower than the sequential loop,
+#: and fa/unaliased have no closed-form index streams at all.
 NO_SCAN_SPECS = [
-    "gskew:3x256:h6:partial",
     "gskew:3x256:h6:lazy",
-    "gskew:1x256:h6:lazy",  # train-on-miss: not a clamped-add map
-    "egskew:3x256:h6:partial",
     "egskew:3x256:h6:lazy",
+    "gskew:3x16:h4:partial",
     "fa:64:h4",
     "unaliased:h6",
 ]
@@ -176,7 +185,26 @@ class TestDispatch:
         assert actual == expected
         assert calls == ["SkewedPredictor"]
 
-    def test_simulate_fast_keeps_coupled_specs_off_the_scan(
+    def test_simulate_fast_routes_partial_to_scan(
+        self, tiny_trace, monkeypatch
+    ):
+        import repro.sim.scan as scan_module
+
+        calls = []
+        inner = scan_module.simulate_scan
+
+        def spy(predictor, trace, **kwargs):
+            calls.append(type(predictor).__name__)
+            return inner(predictor, trace, **kwargs)
+
+        monkeypatch.setattr(scan_module, "simulate_scan", spy)
+        spec = "gskew:3x128:h5:partial"
+        expected = simulate(make_predictor(spec), tiny_trace)
+        actual = simulate_fast(make_predictor(spec), tiny_trace)
+        assert actual == expected
+        assert calls == ["SkewedPredictor"]
+
+    def test_simulate_fast_keeps_lazy_multibank_off_the_scan(
         self, tiny_trace, monkeypatch
     ):
         import repro.sim.scan as scan_module
@@ -185,7 +213,7 @@ class TestDispatch:
             raise AssertionError("coupled spec dispatched to the scan engine")
 
         monkeypatch.setattr(scan_module, "simulate_scan", forbidden)
-        spec = "gskew:3x128:h5:partial"
+        spec = "gskew:3x128:h5:lazy"
         expected = simulate(make_predictor(spec), tiny_trace)
         actual = simulate_fast(make_predictor(spec), tiny_trace)
         assert actual == expected

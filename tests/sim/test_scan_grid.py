@@ -1,0 +1,240 @@
+"""Equivalence tests: the fused sweep-grid engine vs per-cell runs.
+
+The fused grid engine's correctness argument is bit-identity with
+per-cell ``simulate_fast``: same ``SimulationResult`` rows, same final
+counter values, same final history registers, for *any* spec mix —
+fusable cells (every bucket kind: ``add``, ``lazy1``, ``partial``, the
+wide-word split, the pack cache) and fallback cells (agree, fa,
+multi-bank LAZY, dense PARTIAL) alike.  A hypothesis differential pins
+the fused PARTIAL fixpoint to the generic scalar engine on random
+traces, and the degraded paths (fixpoint round-cap bailout, the
+large-trace fusion gate) are forced and must stay byte-identical too.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sim.scan_grid as scan_grid_module
+from repro.sim.config import make_predictor
+from repro.sim.engine import simulate
+from repro.sim.profile import StageTimer
+from repro.sim.scan_grid import (
+    GridStats,
+    grid_supports,
+    simulate_grid,
+    simulate_spec_grid,
+)
+from repro.sim.vectorized import simulate_fast
+
+from tests.strategies import traces as trace_strategy
+
+#: A deliberately mixed grid: every fusion bucket (always-update
+#: families at several widths, single-bank LAZY, multi-bank PARTIAL
+#: with 3- and 5-bank majorities, a wide-word cell, duplicate specs for
+#: the pack cache) plus every fallback class (agree, fa, multi-bank
+#: LAZY, dense PARTIAL, singleton buckets).
+GRID_SPECS = [
+    "bimodal:256",
+    "bimodal:64:c3",
+    "gshare:1k:h8",
+    "gshare:256:h4:c1",
+    "gshare:1k:h8",  # duplicate spec: sorted blocks come from the cache
+    "gselect:256:h4",
+    "gskew:1x256:h5",
+    "gskew:1x128:h4:lazy",
+    "gskew:1x64:h4:lazy",
+    "gskew:3x256:h6:total",
+    "gskew:3x512:h6:partial",
+    "gskew:3x1k:h6:partial",
+    "gskew:5x512:h6:partial",
+    "gskew:5x128:h5:total",
+    "egskew:3x512:h6:partial",
+    "egskew:3x256:h6:total",
+    "gshare:1m:h8",  # 20 entry bits: the uint64 (wide) bucket
+    "gskew:3x8:h3:partial",  # dense PARTIAL: gated to per-cell fallback
+    "gskew:3x64:h4:lazy",  # multi-bank LAZY: no scan path at all
+    "agree:256:h5",
+    "fa:64:h4",
+]
+
+
+def _full_state(predictor):
+    """Snapshot all mutable predictor state (counters, bias, history)."""
+    if hasattr(predictor, "banks"):
+        counters = [list(bank.counters.values) for bank in predictor.banks]
+    elif hasattr(predictor, "bank"):
+        counters = [list(predictor.bank.counters.values)]
+    else:
+        counters = None
+    history = getattr(predictor, "history", None)
+    return counters, None if history is None else history.value
+
+
+def _per_cell(specs, trace, warmup=0):
+    predictors = [make_predictor(spec) for spec in specs]
+    results = [
+        simulate_fast(p, trace, warmup=warmup, label=s)
+        for p, s in zip(predictors, specs)
+    ]
+    return results, [_full_state(p) for p in predictors]
+
+
+class TestGridEquivalence:
+    @pytest.mark.parametrize("warmup", [0, 137, 10**9])
+    def test_mixed_grid_bit_identical(self, small_trace, warmup):
+        expected, expected_states = _per_cell(
+            GRID_SPECS, small_trace, warmup
+        )
+        predictors = [make_predictor(spec) for spec in GRID_SPECS]
+        stats = GridStats()
+        results = simulate_grid(
+            predictors,
+            small_trace,
+            warmup=warmup,
+            labels=list(GRID_SPECS),
+            stats=stats,
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == expected_states
+        # The mix must actually exercise fusion, not fall back wholesale.
+        assert stats.fused_cells >= 12
+        assert stats.fallback_cells >= 4
+        assert stats.dispatches >= 3
+        assert stats.fused_cells_per_dispatch > 1
+
+    def test_spec_grid_matches_and_aligns(self, tiny_trace):
+        specs = ["gshare:256:h6", "gshare:128:h6", "bimodal:64", "fa:16:h3"]
+        expected, _ = _per_cell(specs, tiny_trace)
+        timer = StageTimer()
+        results = simulate_spec_grid(tiny_trace, specs, stage_timer=timer)
+        assert results == expected
+        assert [r.predictor for r in results] == specs
+        assert timer.as_dict()  # the fused path reported its stages
+
+    def test_empty_trace_grid(self):
+        from repro.traces.trace import Trace
+
+        empty = Trace.from_columns([], [], [], name="empty")
+        results = simulate_spec_grid(empty, ["gshare:64:h4", "bimodal:32"])
+        assert [r.mispredictions for r in results] == [0, 0]
+
+    def test_validation(self, tiny_trace):
+        predictors = [make_predictor("gshare:64:h4")]
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_grid(predictors, tiny_trace, warmup=-1)
+        with pytest.raises(ValueError, match="labels"):
+            simulate_grid(predictors, tiny_trace, labels=["a", "b"])
+
+
+class TestGridSupports:
+    def test_fusable_specs(self, tiny_trace):
+        for spec in ("gshare:256:h6", "gskew:3x128:h5:partial",
+                     "gskew:1x64:h4:lazy"):
+            assert grid_supports(make_predictor(spec), tiny_trace)
+
+    def test_fallback_specs(self, tiny_trace):
+        # agree fuses nothing (per-event bias expansion), fa has no
+        # index streams, multi-bank LAZY has no scan path, and dense
+        # PARTIAL (3x8 banks on thousands of events) is density-gated.
+        for spec in ("agree:64:h4", "fa:16:h3", "gskew:3x64:h4:lazy",
+                     "gskew:3x8:h3:partial"):
+            assert not grid_supports(make_predictor(spec), tiny_trace)
+
+
+class TestDegradedPaths:
+    def test_fixpoint_bailout_recovers_per_cell(
+        self, tiny_trace, monkeypatch
+    ):
+        """A PARTIAL cell that hits the round cap falls back per cell."""
+        specs = ["gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
+        expected, expected_states = _per_cell(specs, tiny_trace)
+        monkeypatch.setattr(scan_grid_module, "_COUPLED_ROUND_LIMIT", 1)
+        predictors = [make_predictor(spec) for spec in specs]
+        stats = GridStats()
+        results = simulate_grid(
+            predictors, tiny_trace, labels=specs, stats=stats
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == expected_states
+        assert stats.fixpoint_bailouts == 2
+        assert stats.fused_cells == 0
+
+    def test_fusion_gate_keeps_large_grids_identical(
+        self, tiny_trace, monkeypatch
+    ):
+        """Above the cache crossover, add/lazy1 buckets run per cell."""
+        specs = ["gshare:256:h6", "gshare:128:h6",
+                 "gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
+        expected, _ = _per_cell(specs, tiny_trace)
+        monkeypatch.setattr(scan_grid_module, "_FUSE_MAX_EVENTS", 0)
+        stats = GridStats()
+        results = simulate_grid(
+            [make_predictor(s) for s in specs],
+            tiny_trace,
+            labels=specs,
+            stats=stats,
+        )
+        assert results == expected
+        # PARTIAL is exempt from the gate (its per-round fixed cost
+        # amortises at any length); the add bucket fell back.
+        assert stats.fused_cells == 2
+        assert stats.fallback_cells == 2
+
+
+class TestGridStats:
+    def test_dispatch_ratio_and_dict_shape(self):
+        stats = GridStats(fused_cells=6, fallback_cells=1, dispatches=2)
+        assert stats.fused_cells_per_dispatch == 3.0
+        assert stats.as_dict() == {
+            "fused_cells": 6,
+            "fallback_cells": 1,
+            "dispatches": 2,
+            "fixpoint_bailouts": 0,
+            "fused_cells_per_dispatch": 3.0,
+        }
+
+    def test_zero_dispatches(self):
+        assert GridStats().fused_cells_per_dispatch == 0.0
+
+
+class TestFusedPartialFuzz:
+    """Differential fuzz of the fused PARTIAL fixpoint vs the scalar
+    oracle (the generic interpreter), through a genuine multi-config
+    bucket so the per-config drop-out and flat vote recount run."""
+
+    @given(
+        specs=st.sets(
+            st.sampled_from(
+                [
+                    "gskew:3x16:h3:partial",
+                    "gskew:3x32:h4:partial",
+                    "gskew:3x16:h4:partial:c1",
+                    "gskew:5x16:h3:partial",
+                    "egskew:3x32:h4:partial",
+                ]
+            ),
+            min_size=2,
+            max_size=4,
+        ).map(sorted),
+        trace=trace_strategy(),
+        warmup=st.integers(0, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_generic_engine(self, specs, trace, warmup):
+        expected = [
+            simulate(make_predictor(s), trace, warmup=warmup, label=s)
+            for s in specs
+        ]
+        oracle_states = []
+        for spec in specs:
+            predictor = make_predictor(spec)
+            simulate(predictor, trace, warmup=warmup, label=spec)
+            oracle_states.append(_full_state(predictor))
+        predictors = [make_predictor(s) for s in specs]
+        results = simulate_grid(
+            predictors, trace, warmup=warmup, labels=list(specs)
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == oracle_states
