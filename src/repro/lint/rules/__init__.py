@@ -13,6 +13,7 @@ from repro.lint.rules.bitwidth import BitWidthRule
 from repro.lint.rules.cachekey import CacheKeyRule
 from repro.lint.rules.contract import ExperimentContractRule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.nativetest import NativeKernelTestRule
 from repro.lint.rules.parity import EngineParityRule
 
 __all__ = ["all_rules", "rules_by_id", "select_rules"]
@@ -23,6 +24,7 @@ _RULE_CLASSES = (
     ExperimentContractRule,
     EngineParityRule,
     CacheKeyRule,
+    NativeKernelTestRule,
 )
 
 
@@ -32,7 +34,7 @@ def all_rules() -> List[Rule]:
 
 
 def rules_by_id() -> Dict[str, Rule]:
-    """Registered rules keyed by id (``R001`` .. ``R005``)."""
+    """Registered rules keyed by id (``R001`` .. ``R006``)."""
     return {rule.rule_id: rule for rule in all_rules()}
 
 

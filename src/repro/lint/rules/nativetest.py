@@ -1,0 +1,79 @@
+"""R006 — native kernel coverage: cffi entry points carry equivalence tests.
+
+``sim/native.py`` declares its C entry points in a cdef string and
+calls them through an opaque ``lib`` handle, so the usual import-graph
+arguments for test coverage do not apply: a ``repro_*`` function can be
+added to the kernel, wired into the wrapper, and never exercised
+directly by any test.  The native backend's correctness argument is the
+same as the other fast tiers' — bit-identity against the reference
+engine — but the C functions additionally need *by-name* pinning so a
+signature or semantics change cannot hide behind the Python wrapper.
+
+This rule extracts every ``repro_\\w+(`` name appearing in a string
+constant (the ``cdef`` block) of the native wrapper and requires a
+whole-word reference anywhere under ``tests/``, exactly the bar R004
+sets for the Python entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Tuple
+
+from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
+
+__all__ = ["NativeKernelTestRule", "cffi_entry_points"]
+
+_TARGETS = ("sim/native.py",)
+
+#: A C function declaration/definition head inside a cdef string.
+_ENTRY_POINT = re.compile(r"\b(repro_\w+)\s*\(")
+
+
+def cffi_entry_points(tree: ast.Module) -> List[Tuple[str, ast.Constant]]:
+    """``(name, node)`` for every ``repro_*(`` in a string constant.
+
+    Walks the whole module so the cdef may live in a constant, a class
+    attribute, or an f-string fragment; duplicates keep the first
+    occurrence (the declaration) as the anchor.
+    """
+    found: List[Tuple[str, ast.Constant]] = []
+    seen = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+            continue
+        for match in _ENTRY_POINT.finditer(node.value):
+            name = match.group(1)
+            if name not in seen:
+                seen.add(name)
+                found.append((name, node))
+    return found
+
+
+class NativeKernelTestRule(Rule):
+    """R006: every cffi entry point needs an equivalence-test reference."""
+
+    rule_id = "R006"
+    name = "native-kernel-test"
+    description = (
+        "every cffi entry point declared by the native backend must be "
+        "referenced by name in a test under tests/"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_path.endswith(_TARGETS)
+
+    def check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Violation]:
+        for name, node in cffi_entry_points(ctx.tree):
+            if not project.tests_reference(name):
+                yield self.violation(
+                    ctx,
+                    node,
+                    name,
+                    f"cffi entry point '{name}' has no test referencing "
+                    "it by name; add an equivalence test pinning it "
+                    "against the scalar oracle",
+                )

@@ -36,9 +36,10 @@ fires at the same points every run.  The injectable sites:
 ``cache-write``        counted per entry store; the bytes are corrupted
                        before publication (read-side detection must catch
                        it on the next load)
-``kernel-scan``        counted per scan-engine dispatch in
+``kernel-native``      counted per native-C-engine dispatch in
                        :func:`repro.sim.vectorized.simulate_fast`; the
                        engine raises before touching predictor state
+``kernel-scan``        likewise for the numpy scan engine
 ``kernel-vectorized``  likewise for the vectorized loop engine
 ``kernel-scan-grid``   counted per fused same-trace *group* dispatch in
                        :mod:`repro.sim.parallel`; the group's grid call
@@ -77,6 +78,7 @@ SITES = frozenset(
         "worker-hang",
         "cache-read",
         "cache-write",
+        "kernel-native",
         "kernel-scan",
         "kernel-vectorized",
         "kernel-scan-grid",

@@ -10,6 +10,11 @@ from repro.sim.config import format_entries, make_predictor, parse_size
 from repro.sim.cost import CostEstimate, PipelineModel, speedup
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.sim.native import (
+    native_available,
+    native_supports,
+    simulate_native,
+)
 from repro.sim.parallel import resolve_jobs, simulate_specs
 from repro.sim.profile import StageTimer
 from repro.sim.scan import counter_scan, scan_supports, simulate_scan
@@ -35,8 +40,11 @@ __all__ = [
     "parse_size",
     "simulate",
     "simulate_fast",
+    "simulate_native",
     "simulate_scan",
     "simulate_vectorized",
+    "native_available",
+    "native_supports",
     "scan_supports",
     "counter_scan",
     "StageTimer",

@@ -1,0 +1,156 @@
+/* Native scan kernel: packed-word radix grouping + fused counter walk.
+ *
+ * The C twin of the always-update path of repro.sim.scan: events are
+ * packed into `key | position | outcome` uint64 words (bank tags ride
+ * in the key bits, added by the Python caller), grouped per table
+ * entry by an LSD counting sort over the *key bytes only* — counting
+ * sort is stable and the packing order is position-ascending, so the
+ * position bits never need sorting — and then walked sequentially per
+ * group.  The walk fuses what the numpy engine spreads over run
+ * encoding, map composition and sparse reductions into one
+ * cache-friendly loop: within a group the saturating counter is a
+ * register, and group changes are one store + one load.
+ *
+ * Bit-identity contract (tests/sim/test_native.py pins both entry
+ * points to a scalar oracle): prediction is `value >= threshold`,
+ * training saturates in [0, max_value] toward the outcome, and with
+ * `banks > 1` the (odd, tie-free) majority vote is counted through the
+ * complement trick — "majority of banks wrong" IS "overall prediction
+ * wrong" — exactly like repro.sim.scan._scan_voted.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* Pack per-bank key streams into sorted `key | position | outcome`
+ * words.
+ *
+ *   keys      banks*n global keys, bank-major (tags already applied)
+ *   outcomes  n bytes, 0/1 per event (shared by every bank)
+ *   n         events per bank
+ *   banks     bank count (blocks in `keys`)
+ *   shift     bit position of the key field: position|outcome width
+ *   key_bits  significant key bits above `shift` (drives sort passes)
+ *   out       banks*n words, receives the grouped order
+ *   scratch   banks*n words of ping-pong space
+ *
+ * The LSD radix passes key only on the `key_bits` bytes at and above
+ * `shift`; stability of each counting pass preserves the packing
+ * order (position-ascending within a bank, banks disjoint by tag), so
+ * the result is grouped per (bank, entry) with original event order
+ * inside every group — the exact order the counter walk needs.
+ */
+void repro_pack_sort(const uint64_t *keys, const uint8_t *outcomes,
+                     int64_t n, int32_t banks, int32_t shift,
+                     int32_t key_bits, uint64_t *out, uint64_t *scratch)
+{
+    int64_t m = (int64_t)banks * n;
+    int32_t passes = (key_bits + 7) / 8;
+    /* Ping-pong so the last pass lands in `out`. */
+    uint64_t *src = (passes % 2 == 0) ? out : scratch;
+    uint64_t *dst;
+    int64_t i;
+    int32_t b, p;
+
+    for (b = 0; b < banks; b++) {
+        const uint64_t *bank_keys = keys + (int64_t)b * n;
+        uint64_t *words = src + (int64_t)b * n;
+        for (i = 0; i < n; i++) {
+            words[i] = (bank_keys[i] << shift)
+                     | ((uint64_t)i << 1)
+                     | (uint64_t)outcomes[i];
+        }
+    }
+
+    dst = (src == out) ? scratch : out;
+    for (p = 0; p < passes; p++) {
+        int32_t bit = shift + 8 * p;
+        int64_t counts[256];
+        int64_t total = 0;
+        uint64_t *swap;
+
+        memset(counts, 0, sizeof(counts));
+        for (i = 0; i < m; i++)
+            counts[(src[i] >> bit) & 0xff]++;
+        for (int32_t d = 0; d < 256; d++) {
+            int64_t c = counts[d];
+            counts[d] = total;
+            total += c;
+        }
+        for (i = 0; i < m; i++)
+            dst[counts[(src[i] >> bit) & 0xff]++] = src[i];
+        swap = src;
+        src = dst;
+        dst = swap;
+    }
+    /* passes parity put the final array in `out` (src == out here). */
+    (void)src;
+}
+
+/* Walk grouped words through saturating counters; return the miss
+ * count.
+ *
+ *   sorted_words  m words from repro_pack_sort
+ *   m             total (bank, event) pairs
+ *   shift         key-field bit position (as in repro_pack_sort)
+ *   threshold     predict taken when value >= threshold
+ *   max_value     counters saturate in [0, max_value]
+ *   values        table entries indexed by global key; mutated to the
+ *                 final counter state (bit-identical to the generic
+ *                 engine's)
+ *   warmup        events below this position train but never score
+ *   banks         1: misses counted directly per wrong scored event
+ *   majority      votes for a wrong overall prediction (banks/2 + 1)
+ *   wrong_counts  n int32 slots when banks > 1 (zeroed here), else NULL
+ *   n             events per bank (positions run [0, n))
+ */
+int64_t repro_scan_sorted(const uint64_t *sorted_words, int64_t m,
+                          int32_t shift, int64_t threshold,
+                          int64_t max_value, int64_t *values,
+                          int64_t warmup, int32_t banks, int32_t majority,
+                          int32_t *wrong_counts, int64_t n)
+{
+    uint64_t pos_mask = (shift > 1) ? ((1ull << (shift - 1)) - 1) : 0;
+    int64_t misses = 0;
+    int64_t prev_key = -1;
+    int64_t value = 0;
+    int64_t i;
+
+    if (banks > 1)
+        memset(wrong_counts, 0, (size_t)n * sizeof(int32_t));
+
+    for (i = 0; i < m; i++) {
+        uint64_t word = sorted_words[i];
+        int64_t key = (int64_t)(word >> shift);
+        int64_t pos = (int64_t)((word >> 1) & pos_mask);
+        int64_t outcome = (int64_t)(word & 1);
+        int64_t wrong;
+
+        if (key != prev_key) {
+            if (prev_key >= 0)
+                values[prev_key] = value;
+            value = values[key];
+            prev_key = key;
+        }
+        wrong = (value >= threshold) != outcome;
+        if (banks == 1)
+            misses += wrong & (pos >= warmup);
+        else
+            wrong_counts[pos] += (int32_t)wrong;
+        if (outcome) {
+            if (value < max_value)
+                value++;
+        } else if (value > 0) {
+            value--;
+        }
+    }
+    if (prev_key >= 0)
+        values[prev_key] = value;
+
+    if (banks > 1) {
+        int64_t start = (warmup < n) ? warmup : n;
+        for (i = start; i < n; i++)
+            misses += wrong_counts[i] >= majority;
+    }
+    return misses;
+}

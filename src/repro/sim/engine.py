@@ -65,4 +65,5 @@ def simulate(
         mispredictions=mispredictions,
         storage_bits=predictor.storage_bits,
         history_bits=getattr(predictor, "history_bits", None),
+        engine="generic",
     )

@@ -15,6 +15,11 @@ class SimulationResult:
     ``mispredictions / conditional_branches`` is the misprediction ratio
     every paper figure plots.  ``storage_bits`` carries the predictor's
     hardware budget so results can be ranked at equal cost.
+
+    ``engine`` records which simulation tier produced the result
+    (``generic``/``vectorized``/``scan``/``grid``/``native``) — pure
+    provenance, excluded from equality so the bit-identity contract
+    between tiers (``result_a == result_b``) stays a content check.
     """
 
     predictor: str
@@ -24,6 +29,7 @@ class SimulationResult:
     storage_bits: int
     history_bits: Optional[int] = None
     detail: Dict[str, float] = field(default_factory=dict)
+    engine: Optional[str] = field(default=None, compare=False)
 
     @property
     def misprediction_ratio(self) -> float:

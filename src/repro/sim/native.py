@@ -1,0 +1,452 @@
+"""Native simulation engine: the scan kernel as one compiled C pass.
+
+PR 6's stage profile (``docs/performance.md`` §9-10) showed the numpy
+scan tier is *throughput*-bound: pack+sort, run encoding and the level
+scan are all linear-in-work array stages, so no Python-side fusion buys
+more.  This module moves the whole always-update pipeline — packed-word
+grouping, run handling and the per-entry counter walk — into one C
+kernel (``_native_kernel.c``) compiled on demand with **cffi**:
+
+1. the per-bank index streams still come from the memoised numpy
+   precompute (:func:`repro.sim.vectorized._index_streams` — they are
+   pure trace functions and already fast);
+2. ``repro_pack_sort`` packs ``tag | key | position | outcome`` uint64
+   words and groups them with an LSD counting sort over the *key bytes
+   only* (counting sort is stable and packing order is
+   position-ascending, so the position bits never need sorting —
+   ``ceil(key_bits / 8)`` passes instead of eight);
+3. ``repro_scan_sorted`` walks the grouped words sequentially: within a
+   group the saturating counter lives in a register, a group change is
+   one store + one load, and miss counting (direct for single tables,
+   complement-trick majority for odd voted banks) fuses into the same
+   loop — no run encoding, no Hillis-Steele, no sparse re-expansion.
+
+Coverage is exactly the always-update (``add``) family — bimodal /
+gshare / gselect, single-bank non-LAZY skewed, multi-bank TOTAL
+skewed / e-gskew.  Coupled policies (multi-bank PARTIAL / LAZY) and
+agree's bias expansion keep their scan/loop tiers: the sequential walk
+needs per-entry independence just like the numpy scan does.
+
+The backend is optional.  cffi + a C compiler are probed lazily on
+first use; the shared object is cached under a version-fingerprinted
+directory (source + cdef + cffi/Python versions + platform) so rebuilds
+happen only when any of those change, and later processes just dlopen
+the cached module.  When the build fails — no compiler, no cffi, or
+``REPRO_NATIVE=0`` — :func:`native_available` reports False (with a
+one-time ``RuntimeWarning`` for real failures) and ``simulate_fast``
+falls back to the scan tier; nothing else in the library requires the
+backend.
+
+Results are bit-identical to :func:`repro.sim.engine.simulate`
+including final counter and history state (asserted by
+``tests/sim/test_native.py``, which also pins ``repro_pack_sort`` /
+``repro_scan_sorted`` to scalar oracles by name — the R006 lint rule
+keeps that true for any future entry point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.egskew import EnhancedSkewedPredictor
+from repro.core.gskew import SkewedPredictor
+from repro.core.update import UpdatePolicy
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gselect import GselectPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.sim.metrics import SimulationResult
+from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
+from repro.sim.vectorized import (
+    _cond_takens,
+    _final_history,
+    _index_streams,
+)
+from repro.sim.vectorized import supports as _vector_supports
+from repro.traces.trace import Trace
+
+__all__ = [
+    "compiler_info",
+    "native_available",
+    "native_supports",
+    "simulate_native",
+]
+
+#: Set to ``0`` to disable the backend without uninstalling anything —
+#: the no-compiler CI lane and the forced-fallback tests use this.
+NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+#: Overrides the build-cache directory (defaults to
+#: ``~/.cache/repro-native``, falling back to the system temp dir).
+CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+
+_KERNEL_PATH = Path(__file__).with_name("_native_kernel.c")
+
+#: The backend ABI, verbatim for cffi.  Every function named here is a
+#: kernel entry point; the R006 lint rule requires each to be pinned by
+#: a test referencing it by name.
+_CDEF = """
+void repro_pack_sort(const uint64_t *keys, const uint8_t *outcomes,
+                     int64_t n, int32_t banks, int32_t shift,
+                     int32_t key_bits, uint64_t *out, uint64_t *scratch);
+int64_t repro_scan_sorted(const uint64_t *sorted_words, int64_t m,
+                          int32_t shift, int64_t threshold,
+                          int64_t max_value, int64_t *values,
+                          int64_t warmup, int32_t banks, int32_t majority,
+                          int32_t *wrong_counts, int64_t n);
+"""
+
+#: (ffi, lib) once built, or an error string once the build failed;
+#: None until the first probe.  Guarded by ``_BUILD_LOCK``.
+_BACKEND: "Optional[object]" = None
+_BUILD_LOCK = threading.Lock()
+_WARNED = False
+
+
+def _fingerprint(source: str) -> str:
+    """Version fingerprint of everything the shared object depends on."""
+    import cffi
+
+    payload = "\x00".join(
+        [
+            source,
+            _CDEF,
+            cffi.__version__,
+            sys.version.split()[0],
+            sysconfig.get_platform(),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if override:
+        return Path(override)
+    try:
+        base = Path.home() / ".cache"
+    except (RuntimeError, OSError):  # pragma: no cover — no home dir
+        base = Path(tempfile.gettempdir())
+    return base / "repro-native"
+
+
+def _find_cached(build_dir: Path, module_name: str) -> Optional[Path]:
+    for suffix in importlib.machinery.EXTENSION_SUFFIXES:
+        candidate = build_dir / (module_name + suffix)
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def _load(so_path: Path, module_name: str):
+    spec = importlib.util.spec_from_file_location(module_name, so_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ffi, module.lib
+
+
+def _build_backend():
+    """Compile (or dlopen the cached) kernel; returns ``(ffi, lib)``.
+
+    Raises on any failure — missing cffi, missing compiler, bad cache
+    directory — and the caller converts that into the unavailable
+    state.  The fingerprinted module name makes the cache self-keying:
+    a stale shared object simply never matches the current name.
+    """
+    source = _KERNEL_PATH.read_text(encoding="utf-8")
+    module_name = f"_repro_native_{_fingerprint(source)}"
+    build_dir = _cache_dir()
+    cached = _find_cached(build_dir, module_name)
+    if cached is not None:
+        return _load(cached, module_name)
+
+    import cffi
+
+    builder = cffi.FFI()
+    builder.cdef(_CDEF)
+    builder.set_source(
+        module_name, source, extra_compile_args=["-O3"]
+    )
+    build_dir.mkdir(parents=True, exist_ok=True)
+    so_path = builder.compile(tmpdir=str(build_dir))
+    return _load(Path(so_path), module_name)
+
+
+def _backend():
+    """The built backend, or an error string; builds at most once."""
+    global _BACKEND, _WARNED
+    if _BACKEND is None:
+        with _BUILD_LOCK:
+            if _BACKEND is None:
+                try:
+                    _BACKEND = _build_backend()
+                except Exception as exc:  # noqa: BLE001 — any build error
+                    _BACKEND = f"{type(exc).__name__}: {exc}"
+    if isinstance(_BACKEND, str) and not _WARNED:
+        _WARNED = True
+        warnings.warn(
+            "native scan backend unavailable, falling back to the "
+            f"numpy scan tier ({_BACKEND})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return _BACKEND
+
+
+def native_available() -> bool:
+    """True when the compiled backend can be (or was) built and loaded.
+
+    The first call triggers the lazy build; a failure warns once
+    (``RuntimeWarning``) and sticks for the process.  Setting
+    ``REPRO_NATIVE=0`` reports False without probing the compiler at
+    all — the documented kill switch for fallback testing.
+    """
+    if os.environ.get(NATIVE_ENV_VAR, "").strip() == "0":
+        return False
+    return not isinstance(_backend(), str)
+
+
+def compiler_info() -> Optional[str]:
+    """First line of the C compiler's ``--version``, or None.
+
+    Recorded in ``BENCH_engine.json``'s header so native throughput
+    numbers carry the toolchain that produced them.
+    """
+    compiler = os.environ.get("CC") or "cc"
+    try:
+        probe = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if probe.returncode != 0 or not probe.stdout:
+        return None
+    return probe.stdout.splitlines()[0].strip()
+
+
+# -- dispatch ----------------------------------------------------------------
+
+
+def _table_geometry(
+    predictor: BranchPredictor, trace: Trace
+) -> Optional[Tuple[int, list]]:
+    """``(entry_bits, per-bank counters)`` when the predictor is an
+    always-update table family the C walk expresses, else None."""
+    kind = type(predictor)
+    if kind is BimodalPredictor:
+        return predictor.index_bits, [predictor.bank.counters]
+    if kind in (GsharePredictor, GselectPredictor):
+        if not _vector_supports(predictor, trace):
+            return None
+        return predictor.index_bits, [predictor.bank.counters]
+    if kind in (SkewedPredictor, EnhancedSkewedPredictor):
+        if not _vector_supports(predictor, trace):
+            return None
+        banks = predictor.banks
+        if len(banks) == 1:
+            if predictor.update_policy is UpdatePolicy.LAZY:
+                return None  # train-on-miss reads the prediction
+            return predictor.bank_index_bits, [banks[0].counters]
+        if predictor.update_policy is not UpdatePolicy.TOTAL:
+            return None  # coupled through the majority vote
+        return predictor.bank_index_bits, [bank.counters for bank in banks]
+    return None
+
+
+def word_width_ok(entry_bits: int, banks: int, n: int) -> bool:
+    """Whether ``tag | key | position | outcome`` fits a uint64 word."""
+    shift = max(1, (n - 1).bit_length()) + 1
+    tag_bits = (banks - 1).bit_length()
+    return entry_bits + tag_bits + shift <= 64
+
+
+def native_supports(predictor: BranchPredictor, trace: Trace) -> bool:
+    """True if ``predictor`` has a native fast path over ``trace``.
+
+    The always-update family (bimodal/gshare/gselect, single-bank
+    non-LAZY skewed, multi-bank TOTAL skewed/e-gskew) within the packed
+    uint64 word width, *and* the backend built.  Everything coupled —
+    agree, multi-bank PARTIAL/LAZY — keeps its scan or loop tier.
+    """
+    geometry = _table_geometry(predictor, trace)
+    if geometry is None:
+        return False
+    entry_bits, counters = geometry
+    n = len(_cond_takens(trace))
+    if not word_width_ok(entry_bits, len(counters), n):
+        return False
+    return native_available()
+
+
+def run_table_kernel(
+    streams: List[np.ndarray],
+    outcomes: np.ndarray,
+    values: np.ndarray,
+    entry_bits: int,
+    threshold: int,
+    max_value: int,
+    warmup: int,
+    timer: StageTimer,
+) -> int:
+    """One C pass over one predictor's tables; returns the miss count.
+
+    ``values`` is the bank-concatenated int64 counter array, mutated in
+    place to the final state (any contiguous view works — the fused
+    grid passes per-cell slices of its bucket array).  ``outcomes`` is
+    the bool conditional-outcome stream; stages accumulate under
+    ``"sort"`` (pack + radix grouping) and ``"scan"`` (the fused walk).
+    """
+    backend = _backend()
+    if isinstance(backend, str):  # pragma: no cover — callers gate first
+        raise RuntimeError(f"native backend unavailable ({backend})")
+    ffi, lib = backend
+    n = len(outcomes)
+    if n == 0:
+        return 0
+    banks = len(streams)
+    m = banks * n
+    shift = max(1, (n - 1).bit_length()) + 1
+    key_bits = entry_bits + (banks - 1).bit_length()
+
+    with timer.stage("sort"):
+        keys = np.empty(m, dtype=np.uint64)
+        for b, stream in enumerate(streams):
+            block = keys[b * n : (b + 1) * n]
+            if b:
+                np.add(
+                    stream,
+                    np.uint64(b << entry_bits),
+                    out=block,
+                    casting="unsafe",
+                )
+            else:
+                block[:] = stream
+        grouped = np.empty(m, dtype=np.uint64)
+        scratch = np.empty(m, dtype=np.uint64)
+        lib.repro_pack_sort(
+            ffi.from_buffer("uint64_t[]", keys),
+            ffi.from_buffer("uint8_t[]", outcomes.view(np.uint8)),
+            n,
+            banks,
+            shift,
+            key_bits,
+            ffi.from_buffer("uint64_t[]", grouped),
+            ffi.from_buffer("uint64_t[]", scratch),
+        )
+
+    with timer.stage("scan"):
+        if banks > 1:
+            wrong_counts = np.empty(n, dtype=np.int32)
+            wrong_buffer = ffi.from_buffer("int32_t[]", wrong_counts)
+        else:
+            wrong_buffer = ffi.NULL
+        misses = lib.repro_scan_sorted(
+            ffi.from_buffer("uint64_t[]", grouped),
+            m,
+            shift,
+            threshold,
+            max_value,
+            ffi.from_buffer("int64_t[]", values),
+            warmup,
+            banks,
+            banks // 2 + 1,
+            wrong_buffer,
+            n,
+        )
+    return int(misses)
+
+
+def simulate_native(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup: int = 0,
+    label: Optional[str] = None,
+    stage_timer: Optional[StageTimer] = None,
+) -> SimulationResult:
+    """Native-kernel counterpart of :func:`repro.sim.engine.simulate`.
+
+    Identical arguments and result; also leaves the predictor's
+    counters and history register in the same final state the generic
+    engine would.  ``stage_timer`` (optional) accumulates per-stage
+    wall-clock under ``"precompute"`` (history + index streams),
+    ``"sort"`` (C pack + radix grouping), ``"scan"`` (the fused C
+    counter walk) and ``"reduce"`` (state writeback).
+
+    Raises:
+        ValueError: if the predictor has no native path or the backend
+            did not build (callers wanting automatic fallback use
+            :func:`repro.sim.vectorized.simulate_fast`).
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if not native_supports(predictor, trace):
+        raise ValueError(
+            f"no native path for {type(predictor).__name__}; "
+            "use simulate_fast() or the generic engine"
+        )
+    timer = NULL_STAGE_TIMER if stage_timer is None else stage_timer
+
+    with timer.stage("precompute"):
+        outcomes = _cond_takens(trace)
+    n = len(outcomes)
+
+    if n == 0:
+        mispredictions = 0
+    else:
+        entry_bits, counters = _table_geometry(predictor, trace)
+        with timer.stage("precompute"):
+            streams = _index_streams(predictor, trace)
+            values = np.concatenate(
+                [
+                    np.asarray(bank.values, dtype=np.int64)
+                    for bank in counters
+                ]
+            )
+        mispredictions = run_table_kernel(
+            streams,
+            outcomes,
+            values,
+            entry_bits,
+            counters[0].threshold,
+            counters[0].max_value,
+            warmup,
+            timer,
+        )
+        with timer.stage("reduce"):
+            entries = 1 << entry_bits
+            for b, bank in enumerate(counters):
+                bank.values[:] = values[
+                    b * entries : (b + 1) * entries
+                ].tolist()
+
+    history = getattr(predictor, "history", None)
+    if history is not None and history.bits:
+        with timer.stage("reduce"):
+            history.value = _final_history(trace.takens, history.bits)
+
+    return SimulationResult(
+        predictor=label or predictor.name,
+        trace=trace.name,
+        conditional_branches=max(0, n - warmup),
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits,
+        history_bits=getattr(predictor, "history_bits", None),
+        engine="native",
+    )

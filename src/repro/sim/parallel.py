@@ -143,6 +143,7 @@ def reset_grid_fusion_stats() -> None:
     _FUSION.fallback_cells = 0
     _FUSION.dispatches = 0
     _FUSION.fixpoint_bailouts = 0
+    _FUSION.native_cells = 0
 
 
 def recovery_stats() -> Dict[str, int]:

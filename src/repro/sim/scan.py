@@ -1481,4 +1481,5 @@ def simulate_scan(
         mispredictions=mispredictions,
         storage_bits=predictor.storage_bits,
         history_bits=getattr(predictor, "history_bits", None),
+        engine="scan",
     )

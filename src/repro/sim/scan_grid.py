@@ -40,7 +40,14 @@ parameters the run maps actually read:
     every always-update family (bimodal / gshare / gselect, single-bank
     non-LAZY skewed, multi-bank TOTAL skewed / e-gskew): clamped-add
     maps, any counter width the int16 monoid covers.  Mixed table
-    sizes, schemes and bank counts fuse freely.
+    sizes, schemes and bank counts fuse freely.  When the compiled
+    native backend (:mod:`repro.sim.native`) is available, ``add``
+    buckets run one C kernel per cell instead of the numpy fusion: the
+    kernel's per-call fixed cost is microseconds, so there is nothing
+    left for fusion to amortise, and the sequential walk beats the
+    Hillis-Steele sweeps at every trace length — including past
+    ``_FUSE_MAX_EVENTS``, where the numpy bucket would have fallen back
+    per cell.
 ``lazy1``
     single-bank LAZY skewed: train-on-miss map codes (2-bit domain).
 ``partial``
@@ -98,10 +105,16 @@ from repro.sim.scan import (
     _spans_to_grouped,
     scan_supports,
 )
+from repro.sim.native import (
+    native_available,
+    run_table_kernel,
+    word_width_ok,
+)
 from repro.sim.vectorized import (
     _cond_takens,
     _final_history,
     _index_streams,
+    forced_engine,
     simulate_fast,
 )
 from repro.traces.trace import Trace
@@ -126,15 +139,19 @@ class GridStats:
     ``fused_cells`` cells ran inside ``dispatches`` fused kernel
     invocations; ``fallback_cells`` ran per-cell ``simulate_fast``
     (unfusable spec, singleton bucket, or a ``fixpoint_bailouts``
-    round-cap abandonment of a single PARTIAL cell).  One instance may
-    accumulate across many :func:`simulate_grid` calls — the sweep
-    runner keeps process-wide totals this way.
+    round-cap abandonment of a single PARTIAL cell).  ``native_cells``
+    counts the subset of ``fused_cells`` whose bucket ran through the
+    compiled C kernel rather than the numpy fusion (each native bucket
+    is still one dispatch).  One instance may accumulate across many
+    :func:`simulate_grid` calls — the sweep runner keeps process-wide
+    totals this way.
     """
 
     fused_cells: int = 0
     fallback_cells: int = 0
     dispatches: int = 0
     fixpoint_bailouts: int = 0
+    native_cells: int = 0
 
     @property
     def fused_cells_per_dispatch(self) -> float:
@@ -150,6 +167,7 @@ class GridStats:
             "fallback_cells": self.fallback_cells,
             "dispatches": self.dispatches,
             "fixpoint_bailouts": self.fixpoint_bailouts,
+            "native_cells": self.native_cells,
             "fused_cells_per_dispatch": round(
                 self.fused_cells_per_dispatch, 2
             ),
@@ -465,6 +483,43 @@ def _fused_independent(
     return list(misses_arr), finals, key_base  # type: ignore[arg-type]
 
 
+def _native_bucket(
+    plans: List[_CellPlan],
+    outcomes: np.ndarray,
+    threshold: int,
+    max_value: int,
+    warmup: int,
+    timer: StageTimer,
+) -> Tuple[List[int], np.ndarray, np.ndarray]:
+    """``add`` bucket via one compiled kernel call per cell.
+
+    Same return shape as :func:`_fused_independent` (per-cell misses,
+    final counter values, ``key_base``) so the shared deferred
+    writeback applies unchanged.  No cross-cell fusion happens here on
+    purpose: the C kernel's per-call fixed cost is microseconds, so the
+    amortisation argument behind the numpy fusion is moot, and running
+    cells separately keeps each walk's working set one table deep.
+    """
+    _, key_base, cell_first_block, values = _bucket_layout(plans)
+    misses: List[int] = []
+    for c, plan in enumerate(plans):
+        lo = key_base[cell_first_block[c]]
+        hi = key_base[cell_first_block[c + 1]]
+        misses.append(
+            run_table_kernel(
+                plan.streams,
+                outcomes,
+                values[lo:hi],
+                plan.entry_bits,
+                threshold,
+                max_value,
+                warmup,
+                timer,
+            )
+        )
+    return misses, values, key_base
+
+
 def _miss_rows(w_rows: np.ndarray, lo: int, hi: int, warmup: int) -> np.ndarray:
     """Per-config wrong-event counts of a trace block, past ``warmup``."""
     if lo >= warmup:
@@ -684,7 +739,8 @@ def simulate_grid(
     results: List[Optional[SimulationResult]] = [None] * len(predictors)
     fallback: List[int] = []
     buckets: Dict[Tuple[str, int, int, bool], List[Tuple[int, _CellPlan]]] = {}
-    if n:
+    forced = forced_engine()
+    if n and forced in (None, "grid"):
         with timer.stage("precompute"):
             for index, predictor in enumerate(predictors):
                 plan = _plan_cell(predictor, trace, n)
@@ -699,8 +755,9 @@ def simulate_grid(
                     )
                     buckets.setdefault(key, []).append((index, plan))
     else:
-        # Trivial grids: nothing to amortise, and the per-cell path
-        # already handles empty traces exactly.
+        # Trivial grids (nothing to amortise; the per-cell path already
+        # handles empty traces exactly) — or a forced non-grid engine,
+        # which every cell must honor via per-cell simulate_fast.
         fallback = list(range(len(predictors)))
 
     # Sorted blocks are shareable across buckets (counter-width and
@@ -717,12 +774,29 @@ def simulate_grid(
     )
 
     misses_by_index: Dict[int, int] = {}
+    engine_by_index: Dict[int, str] = {}
     writebacks: List[Tuple[object, np.ndarray]] = []
     for (kind, threshold, max_value, _wide), members in sorted(
         buckets.items()
     ):
-        if len(members) < 2 or (
-            kind != "partial" and n > _FUSE_MAX_EVENTS
+        plans = [plan for _, plan in members]
+        # The native C kernel takes over whole ``add`` buckets when it
+        # can (built backend, packed word fits uint64 for every member,
+        # no forced engine): its per-cell fixed cost is microseconds,
+        # so it also lifts the _FUSE_MAX_EVENTS cache-crossover cap —
+        # the sequential walk never leaves one table's working set.
+        native_ok = (
+            kind == "add"
+            and forced is None
+            and all(
+                word_width_ok(plan.entry_bits, len(plan.counters), n)
+                for plan in plans
+            )
+            and native_available()
+        )
+        if forced != "grid" and (
+            len(members) < 2
+            or (kind != "partial" and n > _FUSE_MAX_EVENTS and not native_ok)
         ):
             # A singleton bucket amortises nothing, and independent-FSM
             # buckets past the cache crossover (see _FUSE_MAX_EVENTS)
@@ -730,11 +804,17 @@ def simulate_grid(
             # same kernel without the fusion bookkeeping.
             fallback.extend(index for index, _ in members)
             continue
-        plans = [plan for _, plan in members]
-        if kind == "partial":
+        if native_ok:
+            misses_list, finals, key_base = _native_bucket(
+                plans, outcomes, threshold, max_value, warmup, timer
+            )
+            grid_stats.native_cells += len(plans)
+            cell_engine = "native"
+        elif kind == "partial":
             misses_list, finals, key_base = _fused_partial(
                 plans, outcomes, threshold, max_value, warmup, timer
             )
+            cell_engine = "grid"
         else:
             misses_list, finals, key_base = _fused_independent(
                 kind,
@@ -746,6 +826,7 @@ def simulate_grid(
                 timer,
                 pack_cache,
             )
+            cell_engine = "grid"
         grid_stats.dispatches += 1
         block = 0
         for (index, plan), misses in zip(members, misses_list):
@@ -758,6 +839,7 @@ def simulate_grid(
                 continue
             grid_stats.fused_cells += 1
             misses_by_index[index] = misses
+            engine_by_index[index] = cell_engine
             for counters in plan.counters:
                 writebacks.append(
                     (counters, finals[key_base[block] : key_base[block + 1]])
@@ -783,6 +865,7 @@ def simulate_grid(
                 mispredictions=misses,
                 storage_bits=predictor.storage_bits,
                 history_bits=getattr(predictor, "history_bits", None),
+                engine=engine_by_index[index],
             )
 
     grid_stats.fallback_cells += len(fallback)

@@ -38,6 +38,7 @@ express (tagged, per-address, hybrid and custom-skew schemes).
 
 from __future__ import annotations
 
+import os
 import warnings
 from typing import List, Optional, Sequence, Tuple
 
@@ -56,10 +57,46 @@ from repro.sim.metrics import SimulationResult
 from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
 from repro.traces.trace import Trace
 
-__all__ = ["supports", "simulate_vectorized", "simulate_fast", "history_stream"]
+__all__ = [
+    "supports",
+    "simulate_vectorized",
+    "simulate_fast",
+    "history_stream",
+    "forced_engine",
+]
 
 #: history lengths must fit a uint64 shift register
 _MAX_HISTORY_BITS = 63
+
+#: Forces one engine for benchmarking and CI lane isolation.  See
+#: :func:`forced_engine` for the semantics.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+_ENGINE_NAMES = frozenset({"generic", "vectorized", "scan", "grid", "native"})
+
+
+def forced_engine() -> Optional[str]:
+    """The engine name forced via ``REPRO_ENGINE``, or None.
+
+    ``simulate_fast`` routes ``generic``/``vectorized``/``scan``/
+    ``native`` directly to that engine — a spec the engine cannot
+    express raises its usual ``ValueError`` instead of silently falling
+    back, which is the point: a forced benchmark or CI lane must fail
+    loudly rather than measure the wrong tier.  ``grid`` is interpreted
+    by :func:`repro.sim.scan_grid.simulate_grid` (force cell fusion,
+    skipping its size/population gates); ``simulate_fast`` treats it
+    like normal tiered dispatch so grid-internal fallback cells don't
+    recurse.  Unknown values raise ``ValueError`` immediately.
+    """
+    value = os.environ.get(ENGINE_ENV_VAR, "").strip()
+    if not value:
+        return None
+    if value not in _ENGINE_NAMES:
+        raise ValueError(
+            f"{ENGINE_ENV_VAR}={value!r} is not a known engine; "
+            f"expected one of {sorted(_ENGINE_NAMES)}"
+        )
+    return value
 
 
 # -- index-stream precomputation (numpy, whole-trace) ----------------------
@@ -602,6 +639,7 @@ def simulate_vectorized(
         mispredictions=mispredictions,
         storage_bits=predictor.storage_bits,
         history_bits=getattr(predictor, "history_bits", None),
+        engine="vectorized",
     )
 
 
@@ -655,34 +693,60 @@ def simulate_fast(
     wall-clock differs — this is the entry point the sweep machinery
     uses):
 
-    1. :func:`repro.sim.scan.simulate_scan` for always-update
-       configurations (bimodal/gshare/gselect/agree, single-bank
-       non-LAZY skewed, multi-bank TOTAL skewed/e-gskew), where every
-       table entry is an independent FSM;
-    2. :func:`simulate_vectorized` for the remaining index-expressible
+    1. :func:`repro.sim.native.simulate_native` for the always-update
+       table families (bimodal/gshare/gselect, single-bank non-LAZY
+       skewed, multi-bank TOTAL skewed/e-gskew) when the compiled C
+       backend is available — one fused pack/sort/walk pass;
+    2. :func:`repro.sim.scan.simulate_scan` for always-update
+       configurations the native kernel doesn't take (agree's bias
+       expansion, multi-bank PARTIAL's fixpoint, word-width overflow)
+       — and for everything native covers when the backend can't
+       build, where every table entry is an independent FSM;
+    3. :func:`simulate_vectorized` for the remaining index-expressible
        schemes — multi-bank PARTIAL/LAZY, whose banks are coupled
        through the majority vote and therefore need the sequential
        counter loop;
-    3. the generic interpreter for everything else (tagged, per-address,
+    4. the generic interpreter for everything else (tagged, per-address,
        hybrid and custom-skew schemes).
+
+    ``REPRO_ENGINE`` (see :func:`forced_engine`) overrides the whole
+    ladder: the named engine runs directly, raising ``ValueError`` if
+    it cannot express the spec, so benchmarks and CI lanes measure
+    exactly the tier they name.
 
     A fast tier that *raises* degrades gracefully instead of killing
     the sweep: the predictor's state is rolled back to the pre-attempt
     snapshot, a ``RuntimeWarning`` records the failure, and the next
     tier runs — every tier is bit-identical, so the degraded result is
     too.  The generic interpreter is the reference implementation and
-    the final tier; its errors propagate.  The ``kernel-scan`` /
-    ``kernel-vectorized`` fault sites (:mod:`repro.resilience.faults`)
-    inject tier failures deterministically to prove that path.
+    the final tier; its errors propagate.  The ``kernel-native`` /
+    ``kernel-scan`` / ``kernel-vectorized`` fault sites
+    (:mod:`repro.resilience.faults`) inject tier failures
+    deterministically to prove that path.
     """
-    # Imported lazily: scan builds on this module's index streams, so a
-    # top-level import here would be circular.
+    # Imported lazily: scan and native build on this module's index
+    # streams, so top-level imports here would be circular.
+    from repro.sim.native import native_supports, simulate_native
     from repro.sim.scan import scan_supports, simulate_scan
 
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
 
+    forced = forced_engine()
+    if forced == "generic":
+        return simulate(predictor, trace, warmup=warmup, label=label)
+    if forced == "vectorized":
+        return simulate_vectorized(predictor, trace, warmup=warmup, label=label)
+    if forced == "scan":
+        return simulate_scan(predictor, trace, warmup=warmup, label=label)
+    if forced == "native":
+        return simulate_native(predictor, trace, warmup=warmup, label=label)
+    # None or "grid": normal tiered dispatch (grid is a scan_grid-level
+    # concept; its fallback cells land here and must not recurse).
+
     tiers = []
+    if native_supports(predictor, trace):
+        tiers.append(("kernel-native", "native", simulate_native))
     if scan_supports(predictor, trace):
         tiers.append(("kernel-scan", "scan", simulate_scan))
     if supports(predictor, trace):

@@ -9,9 +9,14 @@ test can see.
 
 Each of the six IBS-named workloads runs at a small scale through every
 engine tier (generic interpreter, vectorized loop, transition scan,
-fused sweep-grid) for a spec family every tier can express.  Counts are
-exact integers — the engines are deterministic and bit-identical, so
-the comparison is equality, not a tolerance.
+fused sweep-grid, native C kernel) for a spec family every tier can
+express.  Counts are exact integers — the engines are deterministic and
+bit-identical, so the comparison is equality, not a tolerance.  The
+native tier is optional by design: its rows skip with an explicit
+reason when the backend cannot build (no C compiler or cffi,
+``REPRO_NATIVE=0``) or the spec has no native path, so the suite stays
+green on compiler-less machines while still pinning the C kernel
+wherever it exists.
 
 After an *intentional* change to traces or predictors, refresh with::
 
@@ -29,6 +34,7 @@ import pytest
 
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
+from repro.sim.native import native_available, native_supports, simulate_native
 from repro.sim.scan import simulate_scan
 from repro.sim.scan_grid import simulate_grid
 from repro.sim.vectorized import simulate_vectorized
@@ -36,7 +42,7 @@ from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
 
 GOLDEN_PATH = Path(__file__).parent / "golden_rates.json"
 
-#: Small enough to keep 6 workloads x 4 specs x 4 tiers cheap, large
+#: Small enough to keep 6 workloads x 4 specs x 5 tiers cheap, large
 #: enough that every workload has thousands of conditional branches.
 GOLDEN_SCALE = 0.05
 
@@ -67,11 +73,29 @@ def _simulate_grid_pair(predictor, trace, label):
     return first
 
 
+def _simulate_native_checked(predictor, trace, label):
+    """The native C tier, skipping where it cannot run.
+
+    The backend is optional (compiled on demand); a machine without a
+    C toolchain must stay green, and the PARTIAL vote fixpoint is a
+    coupled policy with no native path on any machine.
+    """
+    if not native_available():
+        pytest.skip(
+            "native backend unavailable (no C compiler, no cffi, or "
+            "REPRO_NATIVE=0); the scan tier pins these numbers instead"
+        )
+    if not native_supports(predictor, trace):
+        pytest.skip(f"{label}: no native path (coupled update policy)")
+    return simulate_native(predictor, trace, label=label)
+
+
 ENGINES = {
     "generic": simulate,
     "vectorized": simulate_vectorized,
     "scan": simulate_scan,
     "grid": _simulate_grid_pair,
+    "native": _simulate_native_checked,
 }
 
 

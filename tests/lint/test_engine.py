@@ -168,13 +168,14 @@ class TestEngine:
 
 
 class TestRuleRegistry:
-    def test_five_rules_registered(self):
+    def test_six_rules_registered(self):
         assert [rule.rule_id for rule in all_rules()] == [
             "R001",
             "R002",
             "R003",
             "R004",
             "R005",
+            "R006",
         ]
 
     def test_descriptions_present(self):
@@ -188,4 +189,4 @@ class TestRuleRegistry:
         ]
         with pytest.raises(KeyError):
             select_rules(["R999"])
-        assert set(rules_by_id()) == {f"R00{i}" for i in range(1, 6)}
+        assert set(rules_by_id()) == {f"R00{i}" for i in range(1, 7)}

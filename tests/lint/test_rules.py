@@ -1,4 +1,4 @@
-"""Fixture-driven tests: each rule R001-R005 fires on purpose-built
+"""Fixture-driven tests: each rule R001-R006 fires on purpose-built
 violations and stays silent on the sanctioned pattern next to them."""
 
 from __future__ import annotations
@@ -278,6 +278,29 @@ class TestR004EngineParity:
         )
         assert project.lint(["R004"]).clean
 
+    def test_native_module_is_a_target(self, project):
+        project.write(
+            "src/repro/sim/native.py",
+            """
+            __all__ = ["simulate_native"]
+
+            def simulate_native():
+                return 1
+            """,
+        )
+        report = project.lint(["R004"])
+        assert [v.symbol for v in report.violations] == ["simulate_native"]
+        project.write(
+            "tests/test_native_equiv.py",
+            """
+            from repro.sim.native import simulate_native
+
+            def test_simulate_native():
+                assert simulate_native() == 1
+            """,
+        )
+        assert project.lint(["R004"]).clean
+
     def test_dunder_all_limits_the_public_surface(self, project):
         project.write(
             "src/repro/aliasing/vectorized.py",
@@ -300,6 +323,67 @@ class TestR004EngineParity:
             """,
         )
         assert project.lint(["R004"]).clean
+
+
+class TestR006NativeKernelTest:
+    NATIVE = """
+    _CDEF = \"\"\"
+    void repro_pack_sort(const uint64_t *keys, int64_t n);
+    int64_t repro_scan_sorted(const uint64_t *words, int64_t m);
+    \"\"\"
+
+    def simulate_native():
+        return _CDEF
+    """
+
+    def test_unreferenced_entry_point_flagged(self, project):
+        project.write("src/repro/sim/native.py", self.NATIVE)
+        project.write(
+            "tests/test_kernel.py",
+            """
+            def test_pack_sort(lib):
+                lib.repro_pack_sort(b"", 0)
+            """,
+        )
+        report = project.lint(["R006"])
+        assert [v.symbol for v in report.violations] == ["repro_scan_sorted"]
+        assert "referencing it by name" in report.violations[0].message
+
+    def test_all_entry_points_referenced_is_clean(self, project):
+        project.write("src/repro/sim/native.py", self.NATIVE)
+        project.write(
+            "tests/test_kernel.py",
+            """
+            def test_kernels(lib):
+                lib.repro_pack_sort(b"", 0)
+                assert lib.repro_scan_sorted(b"", 0) == 0
+            """,
+        )
+        assert project.lint(["R006"]).clean
+
+    def test_partial_name_match_does_not_count(self, project):
+        # "repro_scan_sorted_v2" must not satisfy "repro_scan_sorted";
+        # the reference has to be the whole word.
+        project.write("src/repro/sim/native.py", self.NATIVE)
+        project.write(
+            "tests/test_kernel.py",
+            """
+            def test_kernels(lib):
+                lib.repro_pack_sort(b"", 0)
+                lib.repro_scan_sorted_v2(b"", 0)
+            """,
+        )
+        report = project.lint(["R006"])
+        assert [v.symbol for v in report.violations] == ["repro_scan_sorted"]
+
+    def test_other_modules_ignored(self, project):
+        project.write(
+            "src/repro/sim/other.py",
+            """
+            _CDEF = "void repro_untested_kernel(int64_t n);"
+            """,
+        )
+        assert project.lint(["R006"]).clean
 
 
 class TestR005CacheKey:

@@ -147,6 +147,7 @@ class TestInjectedFault:
             "worker-hang",
             "cache-read",
             "cache-write",
+            "kernel-native",
             "kernel-scan",
             "kernel-vectorized",
             "kernel-scan-grid",

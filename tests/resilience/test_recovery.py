@@ -15,10 +15,11 @@ import pytest
 
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
+from repro.sim.native import native_available
 from repro.sim.parallel import run_cells, recovery_stats
 from repro.sim.vectorized import _snapshot_state, simulate_fast
 
-#: One spec per dispatch tier: scan-expressible, vectorized-only
+#: One spec per dispatch tier: native/scan-expressible, vectorized-only
 #: (multi-bank LAZY is the one coupled policy with no scan path; PARTIAL
 #: scans now), and generic-only (per-address history).
 SCAN_SPEC = "gshare:512:h8"
@@ -36,7 +37,26 @@ def _clean_fast(spec, trace):
 
 
 class TestKernelDegradation:
-    def test_scan_failure_degrades_bit_identically(self, fault_env, tiny_trace):
+    def test_native_failure_degrades_bit_identically(
+        self, fault_env, tiny_trace
+    ):
+        if not native_available():
+            pytest.skip("native backend unavailable; tier not in the ladder")
+        expected, expected_state = _clean_fast(SCAN_SPEC, tiny_trace)
+        fault_env("kernel-native@1")
+        predictor = make_predictor(SCAN_SPEC)
+        with pytest.warns(RuntimeWarning, match="native engine failed"):
+            degraded = simulate_fast(predictor, tiny_trace, label=SCAN_SPEC)
+        assert degraded == expected
+        assert degraded.engine == "scan"  # one-level degradation
+        assert _snapshot_state(predictor) == expected_state
+
+    def test_scan_failure_degrades_bit_identically(
+        self, fault_env, tiny_trace, monkeypatch
+    ):
+        # Pin the scan tier to the front of the ladder (the native tier
+        # would otherwise absorb this spec and never dispatch scan).
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         expected, expected_state = _clean_fast(SCAN_SPEC, tiny_trace)
         fault_env("kernel-scan@1")
         predictor = make_predictor(SCAN_SPEC)
@@ -64,19 +84,25 @@ class TestKernelDegradation:
         reference = simulate(
             make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
         )
-        fault_env("kernel-scan@1,kernel-vectorized@1")
+        fault_env("kernel-native@1,kernel-scan@1,kernel-vectorized@1")
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             degraded = simulate_fast(
                 make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
             )
         assert degraded == reference
+        assert degraded.engine == "generic"
         messages = [str(w.message) for w in caught]
         assert any("scan engine failed" in m for m in messages)
         assert any("vectorized engine failed" in m for m in messages)
+        if native_available():
+            assert any("native engine failed" in m for m in messages)
 
-    def test_fault_consumed_then_clean(self, fault_env, tiny_trace):
+    def test_fault_consumed_then_clean(
+        self, fault_env, tiny_trace, monkeypatch
+    ):
         """A one-arrival window fires once; the next call is fault-free."""
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         expected, _ = _clean_fast(SCAN_SPEC, tiny_trace)
         fault_env("kernel-scan@1")
         with pytest.warns(RuntimeWarning):

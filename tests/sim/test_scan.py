@@ -172,6 +172,9 @@ class TestDispatch:
     ):
         import repro.sim.scan as scan_module
 
+        # The native C tier would take this spec first; disable it so
+        # the test pins the scan tier's position in the ladder.
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         calls = []
         inner = scan_module.simulate_scan
 

@@ -19,6 +19,7 @@ from hypothesis import given, settings, strategies as st
 import repro.sim.scan_grid as scan_grid_module
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
+from repro.sim.native import native_available
 from repro.sim.profile import StageTimer
 from repro.sim.scan_grid import (
     GridStats,
@@ -164,7 +165,12 @@ class TestDegradedPaths:
     def test_fusion_gate_keeps_large_grids_identical(
         self, tiny_trace, monkeypatch
     ):
-        """Above the cache crossover, add/lazy1 buckets run per cell."""
+        """Above the cache crossover, add/lazy1 buckets run per cell.
+
+        The gate is a *numpy*-fusion concern, so the native backend —
+        which lifts it — is pinned off for this test.
+        """
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         specs = ["gshare:256:h6", "gshare:128:h6",
                  "gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
         expected, _ = _per_cell(specs, tiny_trace)
@@ -183,6 +189,84 @@ class TestDegradedPaths:
         assert stats.fallback_cells == 2
 
 
+class TestNativeBucket:
+    """The compiled C kernel takes whole ``add`` buckets when built."""
+
+    pytestmark = pytest.mark.skipif(
+        not native_available(),
+        reason="native backend unavailable; add buckets stay on numpy",
+    )
+
+    def test_add_bucket_runs_native_and_identical(self, tiny_trace):
+        specs = ["gshare:256:h6", "gshare:128:h6", "bimodal:64",
+                 "gskew:3x128:h5:total"]
+        expected, expected_states = _per_cell(specs, tiny_trace)
+        predictors = [make_predictor(s) for s in specs]
+        stats = GridStats()
+        results = simulate_grid(
+            predictors, tiny_trace, labels=specs, stats=stats
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == expected_states
+        # One add bucket, one dispatch, every cell through the C kernel.
+        assert stats.native_cells == stats.fused_cells == len(specs)
+        assert stats.dispatches == 1
+        assert all(r.engine == "native" for r in results)
+
+    def test_native_lifts_the_fusion_gate(self, tiny_trace, monkeypatch):
+        """Past _FUSE_MAX_EVENTS the numpy bucket falls back per cell;
+        the C kernel has no cache crossover, so it keeps the bucket."""
+        monkeypatch.setattr(scan_grid_module, "_FUSE_MAX_EVENTS", 0)
+        specs = ["gshare:256:h6", "gshare:128:h6"]
+        expected, _ = _per_cell(specs, tiny_trace)
+        stats = GridStats()
+        results = simulate_grid(
+            [make_predictor(s) for s in specs],
+            tiny_trace,
+            labels=specs,
+            stats=stats,
+        )
+        assert results == expected
+        assert stats.native_cells == 2
+        assert stats.fallback_cells == 0
+
+
+class TestForcedEngineInGrid:
+    def test_forced_grid_fuses_even_singletons(self, tiny_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "grid")
+        spec = "gshare:256:h6"
+        expected = simulate(make_predictor(spec), tiny_trace, label=spec)
+        stats = GridStats()
+        results = simulate_grid(
+            [make_predictor(spec)], tiny_trace, labels=[spec], stats=stats
+        )
+        assert results == [expected]
+        # Forcing "grid" pins the numpy fusion: gates are skipped and
+        # the native bucket takeover is off.
+        assert stats.fused_cells == 1
+        assert stats.native_cells == 0
+        assert results[0].engine == "grid"
+
+    def test_forced_non_grid_engine_routes_per_cell(
+        self, tiny_trace, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ENGINE", "scan")
+        specs = ["gshare:256:h6", "gshare:128:h6", "bimodal:64"]
+        stats = GridStats()
+        results = simulate_grid(
+            [make_predictor(s) for s in specs],
+            tiny_trace,
+            labels=specs,
+            stats=stats,
+        )
+        monkeypatch.delenv("REPRO_ENGINE")
+        expected, _ = _per_cell(specs, tiny_trace)
+        assert results == expected
+        assert stats.fused_cells == 0
+        assert stats.fallback_cells == len(specs)
+        assert all(r.engine == "scan" for r in results)
+
+
 class TestGridStats:
     def test_dispatch_ratio_and_dict_shape(self):
         stats = GridStats(fused_cells=6, fallback_cells=1, dispatches=2)
@@ -192,6 +276,7 @@ class TestGridStats:
             "fallback_cells": 1,
             "dispatches": 2,
             "fixpoint_bailouts": 0,
+            "native_cells": 0,
             "fused_cells_per_dispatch": 3.0,
         }
 
