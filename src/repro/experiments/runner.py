@@ -11,8 +11,8 @@ Usage (installed as ``repro-experiments``):
 Each experiment prints the paper-shaped table/series for every
 benchmark.  ``--scale`` shrinks the traces for quick looks; ``--jobs``
 fans the sweep-shaped experiments out over worker processes (defaults
-to the ``REPRO_JOBS`` environment variable; experiments that don't
-sweep ignore it).
+to the ``REPRO_JOBS`` environment variable, declared in
+:mod:`repro.util.envvars`; experiments that don't sweep ignore it).
 
 ``--checkpoint-dir`` snapshots each finished experiment's report
 atomically (:class:`repro.resilience.checkpoint.CheckpointStore`);
@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.resilience.checkpoint import CheckpointStore
+from repro.util import envvars
 
 from repro.experiments import (
     antialiasing_shootout,
@@ -170,7 +171,7 @@ def _main(argv=None) -> int:
         default=None,
         help=(
             "worker processes for sweep-shaped experiments "
-            "(0 = one per CPU; default: $REPRO_JOBS, else serial)"
+            f"(0 = one per CPU; default: ${envvars.JOBS.name}, else serial)"
         ),
     )
     parser.add_argument(

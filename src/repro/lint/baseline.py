@@ -19,8 +19,11 @@ The file is plain JSON so diffs review well:
     }
 
 Regenerate with ``repro-lint --write-baseline`` (see docs/linting.md).
-The acceptance policy for this repository: R001/R002 findings must be
-*fixed*, never baselined — the CLI refuses to write them.
+The acceptance policy for this repository: R001/R002 findings, and the
+cross-module width/ABI findings R007/R008, must be *fixed*, never
+baselined — the CLI refuses to write them.  A wrong word width or a
+mistyped cffi buffer silently corrupts results; there is no
+"grandfathered" version of that.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ __all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "NEVER_BASELINED"]
 DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
 
 #: Rules whose findings must be fixed, not suppressed.
-NEVER_BASELINED = frozenset({"R001", "R002"})
+NEVER_BASELINED = frozenset({"R001", "R002", "R007", "R008"})
 
 
 @dataclass
@@ -90,7 +93,7 @@ class Baseline:
         return cls([dict(entry) for entry in entries])
 
     def save(self, path: Path) -> None:
-        """Write the baseline as JSON; refuses R001/R002 entries."""
+        """Write the baseline as JSON; refuses NEVER_BASELINED entries."""
         blocked = sorted(
             {
                 entry.get("rule", "")
@@ -101,7 +104,8 @@ class Baseline:
         if blocked:
             raise ValueError(
                 f"refusing to baseline {', '.join(blocked)} findings; "
-                "determinism and bit-width violations must be fixed"
+                "determinism, bit-width, width-flow and C-ABI violations "
+                "must be fixed"
             )
         payload = {"version": 1, "suppressions": self.entries}
         # Atomic publish: a baseline half-written when CI is killed

@@ -4,13 +4,16 @@ Usage::
 
     repro-lint src/                       # human-readable report
     repro-lint --format=json src/         # machine-readable (CI)
+    repro-lint --format=sarif src/        # SARIF 2.1.0 (code scanning)
     repro-lint --rule R004 --list src/    # terse per-violation lines
+    repro-lint --list-rules               # registered rules, one per line
     repro-lint --write-baseline src/      # grandfather current findings
 
 Exit status: 0 when clean (modulo pragmas and baseline), 1 when
-violations or parse errors remain, 2 on usage errors.  Also reachable
-as ``python -m repro.lint`` and ``python tools/lint.py`` (no install
-needed).
+violations or parse errors remain, 2 on usage errors — including an
+unknown ``--rule`` id, which reports the known rule ids.  Also
+reachable as ``python -m repro.lint`` and ``python tools/lint.py`` (no
+install needed).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import List, Optional, Sequence
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.lint.engine import LintReport, ProjectContext, lint_paths
 from repro.lint.rules import all_rules, select_rules
+from repro.lint.sarif import render_sarif
 
 __all__ = ["main"]
 
@@ -74,9 +78,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based determinism, bit-width and experiment-contract "
-            "checks for the repro codebase (rules R001-R005; see "
-            "docs/linting.md)."
+            "AST- and dataflow-based determinism, bit-width, contract, "
+            "width-flow, C-ABI and env-var checks for the repro codebase "
+            "(rules R001-R009; see docs/linting.md)."
         ),
     )
     parser.add_argument(
@@ -94,14 +98,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "list"),
+        choices=("text", "json", "list", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits SARIF 2.1.0",
     )
     parser.add_argument(
         "--list",
         action="store_true",
         help="shorthand for --format=list",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules (id, name, description) and exit",
     )
     parser.add_argument(
         "--baseline",
@@ -133,6 +142,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="project root (default: discovered from the lint paths)",
     )
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
 
     paths: List[Path] = list(args.paths)
     if not paths:
@@ -186,6 +200,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     output_format = "list" if args.list else args.format
     if output_format == "json":
         print(_render_json(report))
+    elif output_format == "sarif":
+        print(render_sarif(report, rules))
     elif output_format == "list":
         rendered = _render_list(report)
         if rendered:

@@ -157,6 +157,7 @@ class ProjectContext:
         self.tests_root = self.root / "tests"
         self._parsed: Dict[Path, Optional[ast.Module]] = {}
         self._tests_corpus: Optional[str] = None
+        self._index = None
 
     @classmethod
     def discover(cls, start: Path) -> "ProjectContext":
@@ -179,6 +180,19 @@ class ProjectContext:
             except (OSError, SyntaxError):
                 self._parsed[path] = None
         return self._parsed[path]
+
+    def index(self):
+        """The whole-project :class:`repro.lint.index.ProjectIndex`.
+
+        Built on first use and shared by every rule in the run (the
+        import is local to keep ``engine`` free of a dependency cycle
+        with :mod:`repro.lint.index`).
+        """
+        if self._index is None:
+            from repro.lint.index import ProjectIndex
+
+            self._index = ProjectIndex(self)
+        return self._index
 
     def tests_corpus(self) -> str:
         """Concatenated text of every test file (for reference search)."""

@@ -10,11 +10,14 @@ from typing import Dict, List, Sequence
 
 from repro.lint.engine import Rule
 from repro.lint.rules.bitwidth import BitWidthRule
+from repro.lint.rules.cabi import CAbiParityRule
 from repro.lint.rules.cachekey import CacheKeyRule
 from repro.lint.rules.contract import ExperimentContractRule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.envcontract import EnvContractRule
 from repro.lint.rules.nativetest import NativeKernelTestRule
 from repro.lint.rules.parity import EngineParityRule
+from repro.lint.rules.widthflow import WidthFlowRule
 
 __all__ = ["all_rules", "rules_by_id", "select_rules"]
 
@@ -25,6 +28,9 @@ _RULE_CLASSES = (
     EngineParityRule,
     CacheKeyRule,
     NativeKernelTestRule,
+    WidthFlowRule,
+    CAbiParityRule,
+    EnvContractRule,
 )
 
 

@@ -1,0 +1,230 @@
+"""R009 — env-var contract: every ``REPRO_*`` read goes through the registry.
+
+The repo's behaviour toggles — engine forcing, worker counts, cache
+locations, fault plans — are environment variables, which makes them
+the least-checked interface in the codebase: a typo'd name reads as
+"unset", a module-local default silently diverges from the documented
+one, and the docs table drifts because nothing generates it.  PR 8
+introduced a central registry (:mod:`repro.util.envvars`) that declares
+every ``REPRO_*`` variable once — name, type, default, docstring — and
+generates the ``docs/api.md`` table from it.
+
+This rule makes the registry load-bearing:
+
+1. **No stray reads.**  Any ``os.environ.get`` / ``os.environ[...]`` /
+   ``os.getenv`` / ``"..." in os.environ`` whose variable name starts
+   with ``REPRO_`` must not appear outside the registry module — read
+   the declared :class:`~repro.util.envvars.EnvVar` instead.  Variable
+   names held in constants are resolved through the project index, so
+   hiding the string in another module does not help.
+2. **No undeclared names.**  A ``REPRO_*`` read whose name is missing
+   from the registry is flagged separately — it would silently read
+   "unset" forever.
+3. **Registry hygiene.**  Inside the registry module itself, every
+   ``EnvVar(...)`` declaration must carry a ``REPRO_``-prefixed name
+   and a non-empty docstring; the generated docs table is only as good
+   as these.
+
+Non-``REPRO_`` variables (``CC``, ``XDG_CACHE_HOME``…) belong to other
+tools' contracts and are ignored.  Suppress a deliberate exception with
+``# repro-lint: disable=R009``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, ProjectContext, Rule, Violation
+from repro.lint.rules._ast_util import dotted_name, import_aliases
+
+__all__ = ["EnvContractRule"]
+
+_REGISTRY_PATH = "util/envvars.py"
+_REGISTRY_MODULE = "repro.util.envvars"
+
+#: dotted accessor suffixes that read the environment
+_READ_CALLS = ("os.environ.get", "os.getenv", "os.environ.setdefault")
+
+
+def _expand(name: Optional[str], imports: Dict[str, str]) -> Optional[str]:
+    """Expand a local dotted name through the module's import aliases."""
+    if not name:
+        return None
+    head, _, rest = name.partition(".")
+    target = imports.get(head)
+    if target is None:
+        return name
+    return target + (f".{rest}" if rest else "")
+
+
+def _env_name(
+    node: ast.expr, index, module: Optional[str]
+) -> Tuple[Optional[str], bool]:
+    """``(variable name, resolved)`` for the name operand of a read."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.Name) and index is not None and module:
+        value = index.resolve_constant(module, node.id)
+        if isinstance(value, str):
+            return value, True
+    return None, False
+
+
+class EnvContractRule(Rule):
+    """R009: REPRO_* environment reads must use repro.util.envvars."""
+
+    rule_id = "R009"
+    name = "env-var-contract"
+    description = (
+        "every REPRO_* environment variable must be declared in the "
+        "repro.util.envvars registry and read through it, never via "
+        "os.environ directly"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.rel_path.startswith("tests/")
+
+    def check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Violation]:
+        if ctx.rel_path.endswith(_REGISTRY_PATH):
+            yield from self._check_registry(ctx)
+            return
+        index = project.index()
+        info = index.module_for_path(ctx.rel_path)
+        module = info.name if info else None
+        imports = info.imports if info else import_aliases(ctx.tree)
+        registered = self._registry_names(index)
+        for node, name_node in self._environment_reads(ctx.tree, imports):
+            name, resolved = _env_name(name_node, index, module)
+            if not resolved or name is None or not name.startswith("REPRO_"):
+                continue
+            if registered is not None and name not in registered:
+                yield self.violation(
+                    ctx,
+                    node,
+                    name,
+                    f"'{name}' is not declared in repro.util.envvars; an "
+                    "undeclared variable reads as unset forever — declare "
+                    "it (name, type, default, doc) and read it through the "
+                    "registry",
+                )
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                name,
+                f"direct environment read of '{name}'; route it through "
+                "its repro.util.envvars declaration (raw()/text()/...) so "
+                "defaults and docs stay single-sourced",
+            )
+
+    # -- read detection -------------------------------------------------
+
+    def _environment_reads(
+        self, tree: ast.Module, imports: Dict[str, str]
+    ) -> Iterator[Tuple[ast.AST, ast.expr]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                expanded = _expand(dotted_name(node.func), imports)
+                if (
+                    expanded
+                    and any(expanded.endswith(s) for s in _READ_CALLS)
+                    and node.args
+                ):
+                    yield node, node.args[0]
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                expanded = _expand(dotted_name(node.value), imports)
+                if expanded and expanded.endswith("os.environ"):
+                    yield node, node.slice
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if not isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                    continue
+                expanded = _expand(
+                    dotted_name(node.comparators[0]), imports
+                )
+                if expanded and expanded.endswith("os.environ"):
+                    yield node, node.left
+
+    # -- registry side --------------------------------------------------
+
+    def _registry_names(self, index) -> Optional[Set[str]]:
+        info = index.module(_REGISTRY_MODULE) if index else None
+        if info is None:
+            return None
+        names: Set[str] = set()
+        for declaration in self._envvar_declarations(info.tree):
+            name = self._declared_name(declaration)
+            if name:
+                names.add(name)
+        return names or None
+
+    @staticmethod
+    def _envvar_declarations(tree: ast.Module) -> List[ast.Call]:
+        return [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and (dotted_name(node.func) or "").split(".")[-1] == "EnvVar"
+        ]
+
+    @staticmethod
+    def _declared_name(call: ast.Call) -> Optional[str]:
+        if call.args and isinstance(call.args[0], ast.Constant):
+            if isinstance(call.args[0].value, str):
+                return call.args[0].value
+        for keyword in call.keywords:
+            if keyword.arg == "name" and isinstance(
+                keyword.value, ast.Constant
+            ):
+                return keyword.value.value
+        return None
+
+    def _check_registry(self, ctx: FileContext) -> Iterator[Violation]:
+        seen: Dict[str, ast.Call] = {}
+        for declaration in self._envvar_declarations(ctx.tree):
+            name = self._declared_name(declaration)
+            if name is None:
+                continue
+            if not name.startswith("REPRO_"):
+                yield self.violation(
+                    ctx,
+                    declaration,
+                    name,
+                    f"registry declares '{name}', which is outside the "
+                    "REPRO_ namespace this registry owns",
+                )
+            if name in seen:
+                yield self.violation(
+                    ctx,
+                    declaration,
+                    name,
+                    f"'{name}' is declared twice in the registry",
+                )
+            seen[name] = declaration
+            if not self._has_doc(declaration):
+                yield self.violation(
+                    ctx,
+                    declaration,
+                    name,
+                    f"'{name}' is declared without a docstring; the "
+                    "docs/api.md table is generated from these",
+                )
+
+    @staticmethod
+    def _has_doc(call: ast.Call) -> bool:
+        candidates: List[ast.expr] = list(call.args[3:4])
+        candidates.extend(
+            keyword.value for keyword in call.keywords if keyword.arg == "doc"
+        )
+        for candidate in candidates:
+            if isinstance(candidate, ast.Constant) and isinstance(
+                candidate.value, str
+            ):
+                return bool(candidate.value.strip())
+            if isinstance(candidate, ast.JoinedStr):
+                return True
+        return False

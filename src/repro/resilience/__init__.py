@@ -11,7 +11,8 @@ the fault-free one.
 This package provides the two halves of proving that:
 
 - :mod:`repro.resilience.faults` — a deterministic fault plan parsed
-  from the ``REPRO_FAULTS`` environment variable that fires at named
+  from the ``REPRO_FAULTS`` environment variable (declared in the
+  central registry, :mod:`repro.util.envvars`) that fires at named
   sites inside the pipeline (worker crash/hang, trace-cache read/write
   corruption, kernel exceptions in the fast engines), so every recovery
   path can be exercised on demand and asserted byte-identical;

@@ -54,8 +54,9 @@ counters reset on every re-parse and via :func:`reset_faults`.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util import envvars
 
 __all__ = [
     "FAULTS_ENV_VAR",
@@ -68,8 +69,9 @@ __all__ = [
     "reset_faults",
 ]
 
-#: Environment variable holding the fault plan (empty/unset: no faults).
-FAULTS_ENV_VAR = "REPRO_FAULTS"
+#: Environment variable holding the fault plan (empty/unset: no faults);
+#: declared in the central registry (:mod:`repro.util.envvars`).
+FAULTS_ENV_VAR = envvars.FAULTS.name
 
 #: Every injectable site (see the module docstring for semantics).
 SITES = frozenset(
@@ -191,7 +193,7 @@ def active_plan() -> FaultPlan:
     lookup plus a string compare.
     """
     global _ACTIVE
-    raw = os.environ.get(FAULTS_ENV_VAR, "")
+    raw = envvars.FAULTS.raw() or ""
     if _ACTIVE is None or _ACTIVE[0] != raw:
         _ACTIVE = (raw, FaultPlan.parse(raw))
     return _ACTIVE[1]

@@ -77,6 +77,7 @@ from repro.sim.vectorized import (
 )
 from repro.sim.vectorized import supports as _vector_supports
 from repro.traces.trace import Trace
+from repro.util import envvars
 
 __all__ = [
     "compiler_info",
@@ -87,11 +88,12 @@ __all__ = [
 
 #: Set to ``0`` to disable the backend without uninstalling anything —
 #: the no-compiler CI lane and the forced-fallback tests use this.
-NATIVE_ENV_VAR = "REPRO_NATIVE"
+#: Declared in the central registry (:mod:`repro.util.envvars`).
+NATIVE_ENV_VAR = envvars.NATIVE.name
 
 #: Overrides the build-cache directory (defaults to
 #: ``~/.cache/repro-native``, falling back to the system temp dir).
-CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+CACHE_ENV_VAR = envvars.NATIVE_CACHE.name
 
 _KERNEL_PATH = Path(__file__).with_name("_native_kernel.c")
 
@@ -133,7 +135,7 @@ def _fingerprint(source: str) -> str:
 
 
 def _cache_dir() -> Path:
-    override = os.environ.get(CACHE_ENV_VAR, "").strip()
+    override = envvars.NATIVE_CACHE.text()
     if override:
         return Path(override)
     try:
@@ -214,7 +216,7 @@ def native_available() -> bool:
     ``REPRO_NATIVE=0`` reports False without probing the compiler at
     all — the documented kill switch for fallback testing.
     """
-    if os.environ.get(NATIVE_ENV_VAR, "").strip() == "0":
+    if envvars.NATIVE.text() == "0":
         return False
     return not isinstance(_backend(), str)
 

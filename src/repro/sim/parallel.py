@@ -79,6 +79,7 @@ from repro.sim.scan_grid import GridStats, simulate_spec_grid
 from repro.sim.vectorized import simulate_fast
 from repro.traces.synthetic.workloads import ibs_trace, trace_cache_key
 from repro.traces.trace import Trace
+from repro.util import envvars
 
 __all__ = [
     "resolve_jobs",
@@ -91,12 +92,13 @@ __all__ = [
 ]
 
 #: env var consulted when a ``jobs`` argument is left unset
-JOBS_ENV_VAR = "REPRO_JOBS"
+#: (declared in :mod:`repro.util.envvars`)
+JOBS_ENV_VAR = envvars.JOBS.name
 
 #: env var: seconds allowed per *cell* before a worker counts as hung
 #: (scaled by chunk length when collecting a chunk); ``0``/``off``/
 #: ``none``/``disabled`` turns the timeout off.
-CELL_TIMEOUT_ENV_VAR = "REPRO_CELL_TIMEOUT"
+CELL_TIMEOUT_ENV_VAR = envvars.CELL_TIMEOUT.name
 
 #: default per-cell timeout — generous (cells run in seconds, not
 #: minutes) so slow machines never false-positive, while a genuinely
@@ -165,7 +167,7 @@ def reset_recovery_stats() -> None:
 
 def _resolve_cell_timeout() -> Optional[float]:
     """Per-cell collection timeout in seconds, or ``None`` when disabled."""
-    raw = os.environ.get(CELL_TIMEOUT_ENV_VAR, "").strip()
+    raw = envvars.CELL_TIMEOUT.text()
     if not raw:
         return DEFAULT_CELL_TIMEOUT_S
     if raw.lower() in {"0", "off", "none", "disabled"}:
@@ -203,7 +205,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     ``0`` or a negative count means one worker per available CPU.
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        raw = envvars.JOBS.text()
         if not raw:
             return 1
         try:

@@ -11,7 +11,8 @@ fused sweep-grid call (:mod:`repro.sim.scan_grid`) — fusable cells
 share packed sorts and segmented scans; the rest run per cell on the
 fastest supporting engine — and sweeps can fan out over a process pool:
 every sweep helper takes ``jobs`` (``None`` defers to the
-``REPRO_JOBS`` environment variable; see :mod:`repro.sim.parallel`).
+``REPRO_JOBS`` environment variable, declared in
+:mod:`repro.util.envvars`; see :mod:`repro.sim.parallel`).
 Grids are deterministic and identical for any worker count.
 """
 

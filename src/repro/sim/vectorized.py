@@ -38,7 +38,6 @@ express (tagged, per-address, hybrid and custom-skew schemes).
 
 from __future__ import annotations
 
-import os
 import warnings
 from typing import List, Optional, Sequence, Tuple
 
@@ -56,6 +55,7 @@ from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
 from repro.traces.trace import Trace
+from repro.util import envvars
 
 __all__ = [
     "supports",
@@ -69,8 +69,9 @@ __all__ = [
 _MAX_HISTORY_BITS = 63
 
 #: Forces one engine for benchmarking and CI lane isolation.  See
-#: :func:`forced_engine` for the semantics.
-ENGINE_ENV_VAR = "REPRO_ENGINE"
+#: :func:`forced_engine` for the semantics; declared in the central
+#: registry (:mod:`repro.util.envvars`), re-exported here by name.
+ENGINE_ENV_VAR = envvars.ENGINE.name
 
 _ENGINE_NAMES = frozenset({"generic", "vectorized", "scan", "grid", "native"})
 
@@ -88,7 +89,7 @@ def forced_engine() -> Optional[str]:
     like normal tiered dispatch so grid-internal fallback cells don't
     recurse.  Unknown values raise ``ValueError`` immediately.
     """
-    value = os.environ.get(ENGINE_ENV_VAR, "").strip()
+    value = envvars.ENGINE.text()
     if not value:
         return None
     if value not in _ENGINE_NAMES:

@@ -45,6 +45,7 @@ from repro.resilience.faults import InjectedFault, fault_active
 from repro.traces.io import load_trace, save_trace
 from repro.traces.synthetic.generator import WorkloadConfig, generate_trace
 from repro.traces.trace import Trace
+from repro.util import envvars
 from repro.util.atomic import atomic_path
 
 __all__ = [
@@ -57,11 +58,12 @@ __all__ = [
     "trace_cache_path",
 ]
 
-#: Environment variable selecting (or disabling) the cache directory.
-CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+#: Environment variable selecting (or disabling) the cache directory
+#: (declared in :mod:`repro.util.envvars`).
+CACHE_ENV_VAR = envvars.TRACE_CACHE.name
 
 #: Env-var values (case-insensitive) that turn the cache off.
-_DISABLED_VALUES = frozenset({"0", "off", "none", "disabled"})
+_DISABLED_VALUES = envvars.OFF_VALUES
 
 #: Per-process counters; see :func:`cache_stats`.
 _STATS: Dict[str, int] = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
@@ -75,7 +77,7 @@ def cache_dir() -> Optional[Path]:
     then ``~/.cache/repro/traces``.  The directory is not created here;
     :func:`generate_trace_cached` creates it lazily on first store.
     """
-    override = os.environ.get(CACHE_ENV_VAR)
+    override = envvars.TRACE_CACHE.raw()
     if override is not None:
         if override.strip().lower() in _DISABLED_VALUES:
             return None

@@ -37,6 +37,7 @@ from repro.traces.io import (
 from repro.traces.stats import substream_stats, trace_counts
 from repro.traces.synthetic.workloads import ibs_trace, ibs_workload
 from repro.traces.trace import Trace
+from repro.util import envvars
 
 __all__ = ["main"]
 
@@ -155,9 +156,9 @@ def main(argv=None) -> int:
         description="Branch-trace tools.",
         epilog=(
             "Generated workloads are content-addressed and cached under "
-            "$REPRO_TRACE_CACHE (set it to 'off' to disable; default "
-            "$XDG_CACHE_HOME/repro/traces, i.e. ~/.cache/repro/traces); "
-            "see the 'cache' subcommand."
+            f"${envvars.TRACE_CACHE.name} (set it to 'off' to disable; "
+            f"default {envvars.TRACE_CACHE.default}, via "
+            "$XDG_CACHE_HOME/repro/traces); see the 'cache' subcommand."
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -199,7 +200,7 @@ def main(argv=None) -> int:
         default=None,
         help=(
             "worker processes (0 = one per CPU; "
-            "default: $REPRO_JOBS, else serial)"
+            f"default: ${envvars.JOBS.name}, else serial)"
         ),
     )
     sim.set_defaults(handler=_cmd_simulate)

@@ -55,6 +55,21 @@ class TestFormats:
         assert violation["path"] == "src/repro/bad.py"
         assert violation["symbol"] == "bad"
 
+    def test_sarif_format(self, project, capsys):
+        _write_bad_project(project)
+        assert _run(project, "--format=sarif") == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        [result] = run["results"]
+        assert result["ruleId"] == "R001"
+        artifact = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]
+        assert artifact["uri"] == "src/repro/bad.py"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == [f"R00{i}" for i in range(1, 10)]
+
     def test_list_format(self, project, capsys):
         _write_bad_project(project)
         assert _run(project, "--list") == 1
@@ -71,12 +86,30 @@ class TestRuleSelection:
         assert _run(project, "--rule", "R003") == 0
         assert _run(project, "--rule", "R001") == 1
 
-    def test_unknown_rule_is_usage_error(self, project):
+    def test_unknown_rule_is_usage_error(self, project, capsys):
         import pytest
 
         with pytest.raises(SystemExit) as excinfo:
             _run(project, "--rule", "R999")
         assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule 'R999'" in err
+        for rule_id in (f"R00{i}" for i in range(1, 10)):
+            assert rule_id in err
+
+    def test_list_rules_prints_registry_and_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split()[0] for line in lines] == [
+            f"R00{i}" for i in range(1, 10)
+        ]
+        assert any("width-flow" in line for line in lines)
+
+    def test_list_rules_needs_no_paths(self, tmp_path, capsys, monkeypatch):
+        # works even where ./src does not exist (no usage error)
+        monkeypatch.chdir(tmp_path)
+        assert main(["--list-rules"]) == 0
+        capsys.readouterr()
 
 
 class TestBaselineFlags:

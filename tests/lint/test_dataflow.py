@@ -1,0 +1,251 @@
+"""Unit tests for the abstract dtype/bit-width dataflow."""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+import pytest
+
+from repro.lint.dataflow import (
+    DTYPE_VALUE_BITS,
+    FunctionDataflow,
+    Width,
+    dtype_from_name,
+)
+
+NP = {"np": "numpy"}
+
+
+def analyze(body: str, imports=NP) -> FunctionDataflow:
+    source = "import numpy as np\n" + dedent(body)
+    tree = ast.parse(source)
+    fn = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return FunctionDataflow(fn, imports=imports)
+
+
+class TestWidth:
+    def test_constant_width_is_bit_length(self):
+        assert Width.of_constant(0).const == 0
+        assert Width.of_constant(1).const == 1
+        assert Width.of_constant(255).const == 8
+        assert Width.of_constant(256).const == 9
+
+    def test_join_takes_max_const_and_unions_terms(self):
+        joined = Width(3, ("a",)).join(Width(5, ("b",)))
+        assert joined == Width(5, ("a", "b"))
+
+    def test_join_with_unbounded_is_unbounded(self):
+        assert Width(3).join(Width.top()).unbounded
+
+    def test_fits_definite_cases(self):
+        assert Width(8).fits(8) is True
+        assert Width(9).fits(8) is False
+        assert Width(9).fits(None) is True  # no capacity, nothing to exceed
+
+    def test_fits_symbolic_is_undecided(self):
+        assert Width(0, ("k",)).fits(8) is None
+        assert Width.top().fits(64) is None
+
+    def test_fits_symbolic_with_oversized_const_is_false(self):
+        # terms only grow the exponent, so const alone decides overflow
+        assert Width(9, ("k",)).fits(8) is False
+
+
+class TestTransfer:
+    def test_mask_literal_collapses_to_term(self):
+        df = analyze(
+            """
+            def f(k):
+                mask = (1 << k) - 1
+                return mask
+            """
+        )
+        assert df.env["mask"].width == Width(0, ("k",))
+
+    def test_bitand_meets_to_mask_width(self):
+        df = analyze(
+            """
+            def f(value, k):
+                mask = (1 << k) - 1
+                idx = value & mask
+                return idx
+            """
+        )
+        assert df.env["idx"].width == Width(0, ("k",))
+
+    def test_mod_bounds_by_divisor(self):
+        df = analyze(
+            """
+            def f(value, k):
+                size = 1 << k
+                return value % size
+            """
+        )
+        # x % (1 << k) < 2**(k+1); the divisor's width bounds the result
+        assert df.env is not None
+
+    def test_shift_adds_symbolic_exponent(self):
+        df = analyze(
+            """
+            def f(k):
+                word = 3 << (k + 2)
+                return word
+            """
+        )
+        assert df.env["word"].width == Width(4, ("k",))
+
+    def test_constant_folding(self):
+        df = analyze(
+            """
+            def f():
+                x = 3 << 4
+                y = x + 1
+                return y
+            """
+        )
+        assert df.env["x"].const_value == 48
+        assert df.env["y"].const_value == 49
+
+    def test_add_costs_one_carry_bit(self):
+        df = analyze(
+            """
+            def f(a_small, k):
+                a = a_small & ((1 << k) - 1)
+                b = a + a
+                return b
+            """
+        )
+        assert df.env["b"].width == Width(1, ("k",))
+
+    def test_scalar_cast_sets_dtype_and_clamps_width(self):
+        df = analyze(
+            """
+            def f(x):
+                word = np.uint32(x)
+                return word
+            """
+        )
+        assert df.env["word"].dtype == "uint32"
+        assert df.env["word"].width == Width(32)
+
+    def test_cast_site_records_pre_width(self):
+        df = analyze(
+            """
+            def f(k):
+                word = np.uint64(3 << (k + 2))
+                return word
+            """
+        )
+        (site,) = df.cast_sites
+        assert site.dtype == "uint64"
+        assert site.pre_width == Width(4, ("k",))
+        assert site.kind == "cast"
+
+    def test_astype_is_a_cast_site(self):
+        df = analyze(
+            """
+            def f(arr):
+                return arr.astype(np.uint16)
+            """
+        )
+        (site,) = df.cast_sites
+        assert site.dtype == "uint16"
+
+    def test_array_ctor_dtype_keyword(self):
+        df = analyze(
+            """
+            def f(n):
+                buf = np.empty(n, dtype=np.uint64)
+                return buf
+            """
+        )
+        assert df.env["buf"].dtype == "uint64"
+
+    def test_subscript_preserves_dtype(self):
+        df = analyze(
+            """
+            def f(n):
+                buf = np.empty(n, dtype=np.uint64)
+                block = buf[1:4]
+                return block
+            """
+        )
+        assert df.env["block"].dtype == "uint64"
+
+    def test_ufunc_out_records_site_with_out_dtype(self):
+        df = analyze(
+            """
+            def f(stream, shift, n):
+                packed = np.empty(n, dtype=np.uint32)
+                np.left_shift(stream, shift, out=packed, casting="unsafe")
+                return packed
+            """
+        )
+        sites = [s for s in df.cast_sites if s.kind == "ufunc"]
+        assert len(sites) == 1
+        assert sites[0].dtype == "uint32"
+
+    def test_concatenate_joins_element_dtypes(self):
+        df = analyze(
+            """
+            def f(a, b):
+                joined = np.concatenate(
+                    [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]
+                )
+                return joined
+            """
+        )
+        assert df.env["joined"].dtype == "int64"
+
+    def test_if_joins_branches(self):
+        df = analyze(
+            """
+            def f(flag, k):
+                if flag:
+                    x = (1 << k) - 1
+                else:
+                    x = 255
+                return x
+            """
+        )
+        assert df.env["x"].width == Width(8, ("k",))
+
+    def test_loop_widening_drops_growing_bounds(self):
+        df = analyze(
+            """
+            def f(n):
+                acc = 1
+                for _ in range(n):
+                    acc = acc << 1
+                return acc
+            """
+        )
+        assert df.env["acc"].width.unbounded
+
+    def test_definitions_record_every_assignment(self):
+        df = analyze(
+            """
+            def f(flag):
+                x = 1
+                if flag:
+                    x = 2
+                return x
+            """
+        )
+        assert len(df.definitions["x"]) == 2
+
+
+class TestDtypeNames:
+    def test_attribute_form(self):
+        assert dtype_from_name("np.uint64", {"np"}, {}) == "uint64"
+        assert dtype_from_name("np.bogus", {"np"}, {}) is None
+
+    def test_from_import_form(self):
+        imports = {"uint32": "numpy.uint32"}
+        assert dtype_from_name("uint32", set(), imports) == "uint32"
+
+    def test_capacities(self):
+        assert DTYPE_VALUE_BITS["uint64"] == 64
+        assert DTYPE_VALUE_BITS["int64"] == 63  # sign bit is not storage
+        assert DTYPE_VALUE_BITS["pyint"] is None

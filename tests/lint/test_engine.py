@@ -168,7 +168,7 @@ class TestEngine:
 
 
 class TestRuleRegistry:
-    def test_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert [rule.rule_id for rule in all_rules()] == [
             "R001",
             "R002",
@@ -176,6 +176,9 @@ class TestRuleRegistry:
             "R004",
             "R005",
             "R006",
+            "R007",
+            "R008",
+            "R009",
         ]
 
     def test_descriptions_present(self):
@@ -189,4 +192,4 @@ class TestRuleRegistry:
         ]
         with pytest.raises(KeyError):
             select_rules(["R999"])
-        assert set(rules_by_id()) == {f"R00{i}" for i in range(1, 7)}
+        assert set(rules_by_id()) == {f"R00{i}" for i in range(1, 10)}

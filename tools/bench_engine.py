@@ -46,7 +46,8 @@ the machine that produced it even when quoted alone.
 Run:  python tools/bench_engine.py [--scale 0.4] [--jobs 1 2 4]
                                    [--repeat 3] [--out PATH] [--quick]
 
-``--quick`` is the CI smoke lane: R004/R006 parity pre-flight plus a
+``--quick`` is the CI smoke lane: an R004/R006 parity plus
+R007/R008/R009 width-flow/C-ABI/env-contract pre-flight, a
 small fused-grid equivalence-and-timing pass and a native-vs-scan
 bit-identity sweep, exiting non-zero on any parity gap or engine
 mismatch (the native check green-skips when the backend is
@@ -648,15 +649,25 @@ def bench_sweep_grid(benchmark, scale, repeat):
     }
 
 
-def check_engine_parity() -> list:
-    """R004/R006 pre-flight: every timed entry point has a test.
+#: the rules the --quick pre-flight runs over the hot-path modules:
+#: R004/R006 (every timed entry point has an equivalence test) plus the
+#: dataflow rules R007 (packing expressions fit their dtype or carry a
+#: width guard), R008 (from_buffer dtypes match the declared C ABI) and
+#: R009 (REPRO_* reads go through the envvars registry).
+PREFLIGHT_RULES = ("R004", "R006", "R007", "R008", "R009")
 
-    Equivalent to ``repro-lint --rule R004 --rule R006 --list src/``; a
-    speedup measured on a function no test checks for bit identity is a
-    number without a correctness argument, so the gap is called out up
-    front (and recorded in the report) rather than discovered in
-    review.  R006 extends the same bar to the C entry points the
-    native wrapper declares through cffi.
+
+def check_engine_parity() -> list:
+    """Hot-path pre-flight: parity, width-flow, C-ABI and env rules.
+
+    Equivalent to ``repro-lint --rule R004 --rule R006 --rule R007
+    --rule R008 --rule R009 --list`` over the engine modules; a speedup
+    measured on a function no test checks for bit identity is a number
+    without a correctness argument, and an engine whose packing can
+    silently overflow (R007) or whose buffers disagree with the C
+    signature (R008) produces wrong numbers fast, so the gaps are
+    called out up front (and recorded in the report) rather than
+    discovered in review.
     """
     report = lint_paths(
         [
@@ -666,13 +677,16 @@ def check_engine_parity() -> list:
             REPO_ROOT / "src/repro/sim/native.py",
             REPO_ROOT / "src/repro/aliasing/vectorized.py",
         ],
-        select_rules(["R004", "R006"]),
+        select_rules(list(PREFLIGHT_RULES)),
         project=ProjectContext(REPO_ROOT),
     )
     for violation in report.violations:
         print(f"  WARNING {violation.render()}")
     if not report.violations:
-        print("  ok: every fast-path entry point has an equivalence test")
+        print(
+            "  ok: hot-path modules are clean under "
+            + "/".join(PREFLIGHT_RULES)
+        )
     return [violation.render() for violation in report.violations]
 
 
@@ -697,7 +711,7 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    print("engine parity (repro-lint R004/R006):")
+    print(f"engine pre-flight (repro-lint {'/'.join(PREFLIGHT_RULES)}):")
     parity_gaps = check_engine_parity()
 
     if args.quick:
@@ -721,7 +735,7 @@ def main() -> int:
             )
             print(f"wrote {args.out}")
         if parity_gaps:
-            print("ERROR: engine parity gaps; see R004/R006 warnings above")
+            print("ERROR: engine pre-flight gaps; see warnings above")
         if not sweep_grid["identical"]:
             print("ERROR: fused grid disagrees with per-cell engines")
         if not native_smoke["identical"]:
