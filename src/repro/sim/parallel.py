@@ -73,6 +73,7 @@ import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.resilience.faults import InjectedFault, fault_active, maybe_fail
+from repro.util import envvars
 from repro.sim.config import make_predictor
 from repro.sim.metrics import SimulationResult
 from repro.sim.scan_grid import GridStats, simulate_spec_grid
@@ -244,7 +245,15 @@ def _describe_traces(traces: Sequence[Trace]) -> List[Tuple]:
 
 
 def _init_worker(descriptors: List[Tuple]) -> None:
-    """Pool initializer: materialise every sweep trace once per worker."""
+    """Pool initializer: materialise every sweep trace once per worker.
+
+    Also pins ``REPRO_NATIVE_THREADS=1`` (unless the user set it): with
+    one process per CPU the native kernel's own thread pool would just
+    oversubscribe the machine, and the kernel is byte-identical at
+    every thread count, so serial-per-worker is pure win.
+    """
+    if not envvars.NATIVE_THREADS.is_set():
+        os.environ[envvars.NATIVE_THREADS.name] = "1"
     _WORKER_TRACES.clear()
     for descriptor in descriptors:
         if descriptor[0] == "ibs":

@@ -92,6 +92,13 @@ Coverage — which specs the scan expresses
   because at first-touch events "PHT wrong" and "prediction wrong"
   decouple.
 
+The compiled native tier (:mod:`repro.sim.native`) now covers most of
+this ground with sequential C walks — always-update, single-bank LAZY,
+and multi-bank PARTIAL below its density ceiling — and outranks this
+module in the ``simulate_fast`` ladder.  The scan tier remains the
+fastest path for agree (bias expansion), extreme-density PARTIAL, and
+every geometry on hosts without a C compiler.
+
 Like the vectorized engine, index streams assume the predictor starts
 with a fresh (all-zero) history register — the state a newly
 constructed predictor has.  Counter (and agree-bias) state is taken

@@ -40,14 +40,7 @@ parameters the run maps actually read:
     every always-update family (bimodal / gshare / gselect, single-bank
     non-LAZY skewed, multi-bank TOTAL skewed / e-gskew): clamped-add
     maps, any counter width the int16 monoid covers.  Mixed table
-    sizes, schemes and bank counts fuse freely.  When the compiled
-    native backend (:mod:`repro.sim.native`) is available, ``add``
-    buckets run one C kernel per cell instead of the numpy fusion: the
-    kernel's per-call fixed cost is microseconds, so there is nothing
-    left for fusion to amortise, and the sequential walk beats the
-    Hillis-Steele sweeps at every trace length — including past
-    ``_FUSE_MAX_EVENTS``, where the numpy bucket would have fallen back
-    per cell.
+    sizes, schemes and bank counts fuse freely.
 ``lazy1``
     single-bank LAZY skewed: train-on-miss map codes (2-bit domain).
 ``partial``
@@ -61,6 +54,19 @@ parameters the run maps actually read:
     bucket, and each config *drops out* the round it reaches its own
     fixpoint (configs never read each other's state), so a
     slow-converging member costs only its own extra rounds.
+
+When the compiled native backend (:mod:`repro.sim.native`) is
+available, buckets of *every* kind run one C kernel per cell instead of
+the numpy fusion (``add`` via ``repro_scan_sorted``, ``lazy1`` via
+``repro_scan_lazy1``, ``partial`` via the ``repro_scan_partial_round``
+fixpoint driver): the kernels' per-call fixed cost is microseconds, so
+there is nothing left for fusion to amortise, and the sequential walks
+beat the Hillis-Steele sweeps at every trace length — including past
+``_FUSE_MAX_EVENTS``, where the numpy bucket would have fallen back per
+cell.  A ``partial`` cell whose native fixpoint hits the round cap
+bails out exactly like a numpy-fusion bailout: counted in
+``fixpoint_bailouts``, re-run per cell, its counter slice never written
+back.
 
 Anything else — agree (per-event bias expansion), multi-bank LAZY (no
 scan path; see :mod:`repro.sim.scan`), tagged/per-address schemes, or a
@@ -107,8 +113,10 @@ from repro.sim.scan import (
 )
 from repro.sim.native import (
     native_available,
+    native_cell_ok,
+    run_lazy1_kernel,
+    run_partial_kernel,
     run_table_kernel,
-    word_width_ok,
 )
 from repro.sim.vectorized import (
     _cond_takens,
@@ -484,39 +492,49 @@ def _fused_independent(
 
 
 def _native_bucket(
+    kind: str,
     plans: List[_CellPlan],
     outcomes: np.ndarray,
     threshold: int,
     max_value: int,
     warmup: int,
     timer: StageTimer,
-) -> Tuple[List[int], np.ndarray, np.ndarray]:
-    """``add`` bucket via one compiled kernel call per cell.
+) -> Tuple[List[Optional[int]], np.ndarray, np.ndarray]:
+    """Any bucket kind via one compiled kernel pass per cell.
 
     Same return shape as :func:`_fused_independent` (per-cell misses,
     final counter values, ``key_base``) so the shared deferred
     writeback applies unchanged.  No cross-cell fusion happens here on
-    purpose: the C kernel's per-call fixed cost is microseconds, so the
+    purpose: the C kernels' per-call fixed cost is microseconds, so the
     amortisation argument behind the numpy fusion is moot, and running
     cells separately keeps each walk's working set one table deep.
+
+    A ``partial`` cell whose fixpoint hits the round cap yields None
+    misses — the caller re-runs just that cell per-cell, exactly like a
+    numpy-fusion bailout, and its (half-written) counter slice is never
+    written back.
     """
     _, key_base, cell_first_block, values = _bucket_layout(plans)
-    misses: List[int] = []
+    misses: List[Optional[int]] = []
     for c, plan in enumerate(plans):
         lo = key_base[cell_first_block[c]]
         hi = key_base[cell_first_block[c + 1]]
-        misses.append(
-            run_table_kernel(
-                plan.streams,
-                outcomes,
-                values[lo:hi],
-                plan.entry_bits,
-                threshold,
-                max_value,
-                warmup,
-                timer,
+        if kind == "add":
+            cell_misses: Optional[int] = run_table_kernel(
+                plan.streams, outcomes, values[lo:hi], plan.entry_bits,
+                threshold, max_value, warmup, timer,
             )
-        )
+        elif kind == "lazy1":
+            cell_misses = run_lazy1_kernel(
+                plan.streams[0], outcomes, values[lo:hi], plan.entry_bits,
+                threshold, max_value, warmup, timer,
+            )
+        else:  # partial
+            cell_misses = run_partial_kernel(
+                plan.streams, outcomes, values[lo:hi], plan.entry_bits,
+                threshold, max_value, warmup, timer,
+            )
+        misses.append(cell_misses)
     return misses, values, key_base
 
 
@@ -780,16 +798,16 @@ def simulate_grid(
         buckets.items()
     ):
         plans = [plan for _, plan in members]
-        # The native C kernel takes over whole ``add`` buckets when it
-        # can (built backend, packed word fits uint64 for every member,
-        # no forced engine): its per-cell fixed cost is microseconds,
-        # so it also lifts the _FUSE_MAX_EVENTS cache-crossover cap —
-        # the sequential walk never leaves one table's working set.
+        # The native C kernels take over whole buckets of every kind
+        # when they can (built backend, per-kind geometry gates pass
+        # for every member, no forced engine): their per-cell fixed
+        # cost is microseconds, so they also lift the _FUSE_MAX_EVENTS
+        # cache-crossover cap — the sequential walks never leave one
+        # table's working set.
         native_ok = (
-            kind == "add"
-            and forced is None
+            forced is None
             and all(
-                word_width_ok(plan.entry_bits, len(plan.counters), n)
+                native_cell_ok(kind, plan.entry_bits, len(plan.counters), n)
                 for plan in plans
             )
             and native_available()
@@ -806,7 +824,7 @@ def simulate_grid(
             continue
         if native_ok:
             misses_list, finals, key_base = _native_bucket(
-                plans, outcomes, threshold, max_value, warmup, timer
+                kind, plans, outcomes, threshold, max_value, warmup, timer
             )
             grid_stats.native_cells += len(plans)
             cell_engine = "native"

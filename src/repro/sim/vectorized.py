@@ -694,15 +694,17 @@ def simulate_fast(
     wall-clock differs — this is the entry point the sweep machinery
     uses):
 
-    1. :func:`repro.sim.native.simulate_native` for the always-update
-       table families (bimodal/gshare/gselect, single-bank non-LAZY
-       skewed, multi-bank TOTAL skewed/e-gskew) when the compiled C
-       backend is available — one fused pack/sort/walk pass;
-    2. :func:`repro.sim.scan.simulate_scan` for always-update
-       configurations the native kernel doesn't take (agree's bias
-       expansion, multi-bank PARTIAL's fixpoint, word-width overflow)
-       — and for everything native covers when the backend can't
-       build, where every table entry is an independent FSM;
+    1. :func:`repro.sim.native.simulate_native` for the table families
+       the compiled C backend covers — always-update
+       (bimodal/gshare/gselect, single-bank non-LAZY skewed, multi-bank
+       TOTAL skewed/e-gskew), single-bank LAZY, and multi-bank PARTIAL
+       below the native density ceiling — one fused pack/group/walk
+       pass per bank set;
+    2. :func:`repro.sim.scan.simulate_scan` for configurations the
+       native kernel doesn't take (agree's bias expansion,
+       extreme-density PARTIAL, word-width overflow) — and for
+       everything native covers when the backend can't build, where
+       every table entry is an independent FSM;
     3. :func:`simulate_vectorized` for the remaining index-expressible
        schemes — multi-bank PARTIAL/LAZY, whose banks are coupled
        through the majority vote and therefore need the sequential

@@ -39,6 +39,7 @@ __all__ = [
     "JOBS",
     "NATIVE",
     "NATIVE_CACHE",
+    "NATIVE_THREADS",
     "TRACE_CACHE",
     "by_name",
     "markdown_table",
@@ -154,6 +155,15 @@ NATIVE_CACHE = EnvVar(
     "Directory for the fingerprinted native-kernel build cache.",
 )
 
+NATIVE_THREADS = EnvVar(
+    "REPRO_NATIVE_THREADS",
+    "int",
+    "(CPU count)",
+    "Worker threads for the native kernel's grouping pass (clamped to "
+    "[1, 16]); unset means one per available CPU, `1` forces the "
+    "serial path.  Results are byte-identical at every setting.",
+)
+
 TRACE_CACHE = EnvVar(
     "REPRO_TRACE_CACHE",
     "path",
@@ -166,7 +176,16 @@ TRACE_CACHE = EnvVar(
 #: generated docs table and the R009 completeness checks.
 REGISTRY: Tuple[EnvVar, ...] = tuple(
     sorted(
-        (CELL_TIMEOUT, ENGINE, FAULTS, JOBS, NATIVE, NATIVE_CACHE, TRACE_CACHE),
+        (
+            CELL_TIMEOUT,
+            ENGINE,
+            FAULTS,
+            JOBS,
+            NATIVE,
+            NATIVE_CACHE,
+            NATIVE_THREADS,
+            TRACE_CACHE,
+        ),
         key=lambda var: var.name,
     )
 )

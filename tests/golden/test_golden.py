@@ -42,18 +42,20 @@ from repro.traces.synthetic.workloads import IBS_BENCHMARKS, ibs_trace
 
 GOLDEN_PATH = Path(__file__).parent / "golden_rates.json"
 
-#: Small enough to keep 6 workloads x 4 specs x 5 tiers cheap, large
+#: Small enough to keep 6 workloads x 5 specs x 5 tiers cheap, large
 #: enough that every workload has thousands of conditional branches.
 GOLDEN_SCALE = 0.05
 
 #: One spec per engine-relevant family, all expressible by every tier
 #: (always-update, default skew family, the PARTIAL vote-wrongness
-#: fixpoint, in-range geometry).
+#: fixpoint, the single-bank LAZY train-on-miss walk, in-range
+#: geometry).
 GOLDEN_SPECS = [
     "bimodal:512",
     "gshare:512:h8",
     "gskew:3x256:h6:total",
     "gskew:3x256:h6:partial",
+    "gskew:1x256:h6:lazy",
 ]
 
 
@@ -77,8 +79,10 @@ def _simulate_native_checked(predictor, trace, label):
     """The native C tier, skipping where it cannot run.
 
     The backend is optional (compiled on demand); a machine without a
-    C toolchain must stay green, and the PARTIAL vote fixpoint is a
-    coupled policy with no native path on any machine.
+    C toolchain must stay green.  Every golden spec — including the
+    PARTIAL fixpoint and single-bank LAZY — has a native path at
+    golden scale, so on a compiler-equipped machine only backend
+    unavailability skips.
     """
     if not native_available():
         pytest.skip(
@@ -86,7 +90,7 @@ def _simulate_native_checked(predictor, trace, label):
             "REPRO_NATIVE=0); the scan tier pins these numbers instead"
         )
     if not native_supports(predictor, trace):
-        pytest.skip(f"{label}: no native path (coupled update policy)")
+        pytest.skip(f"{label}: no native path at this geometry")
     return simulate_native(predictor, trace, label=label)
 
 

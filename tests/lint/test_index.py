@@ -137,10 +137,18 @@ class TestCallGraph:
 class TestRealTree:
     """The index must understand the code this repo actually ships."""
 
-    def test_word_width_ok_reachable_from_kernel(self):
+    def test_width_gates_reachable_from_kernel(self):
         index = ProjectContext(Path(__file__).resolve().parents[2]).index()
         ball = index.neighborhood("repro.sim.native", "run_table_kernel")
-        assert ("repro.sim.native", "word_width_ok") in ball
+        # The geometry gate sits three hops up (simulate_native →
+        # native_supports → native_cell_ok); its word_width_ok core is
+        # one hop further, so R007 relies on the in-function guard in
+        # _tagged_keys instead.
+        assert ("repro.sim.native", "native_cell_ok") in ball
+        wide = index.neighborhood(
+            "repro.sim.native", "run_table_kernel", depth=4
+        )
+        assert ("repro.sim.native", "word_width_ok") in wide
 
     def test_native_kernel_callers(self):
         index = ProjectContext(Path(__file__).resolve().parents[2]).index()

@@ -181,17 +181,20 @@ class TestNativeGate:
         self._fixture_copy(project, source)
         assert r007(project.lint(["R007"])) == []
 
-    def test_gate_removed_fires_on_packing_site(self, project):
+    def test_gates_removed_fire_on_packing_site(self, project):
         source = self.NATIVE.read_text(encoding="utf-8")
         gate = "entry_bits + tag_bits + shift <= 64"
+        local = "entry_bits + (banks - 1).bit_length() > 64"
         assert gate in source, "word_width_ok's guard moved; update this test"
-        self._fixture_copy(project, source.replace(gate, "True"))
+        assert local in source, "_tagged_keys' guard moved; update this test"
+        stripped = source.replace(gate, "True").replace(local, "False")
+        self._fixture_copy(project, stripped)
         violations = r007(project.lint(["R007"]))
         assert violations, (
-            "removing word_width_ok's width comparison must expose the "
-            "uint64 packing in run_table_kernel"
+            "removing both width comparisons must expose the uint64 "
+            "key packing in _tagged_keys"
         )
-        assert {v.symbol for v in violations} == {"run_table_kernel"}
+        assert {v.symbol for v in violations} == {"_tagged_keys"}
         assert all("64" in v.message for v in violations)
 
     def test_baseline_refuses_r007(self, project):

@@ -193,6 +193,9 @@ class TestDispatch:
     ):
         import repro.sim.scan as scan_module
 
+        # PARTIAL below the density ceiling now goes native first;
+        # disable it so the test pins scan as the next rung.
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         calls = []
         inner = scan_module.simulate_scan
 

@@ -149,6 +149,9 @@ class TestDegradedPaths:
         self, tiny_trace, monkeypatch
     ):
         """A PARTIAL cell that hits the round cap falls back per cell."""
+        # The numpy fixpoint's cap is under test; keep the native
+        # takeover (with its own round cap) out of the way.
+        monkeypatch.setenv("REPRO_NATIVE", "0")
         specs = ["gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
         expected, expected_states = _per_cell(specs, tiny_trace)
         monkeypatch.setattr(scan_grid_module, "_COUPLED_ROUND_LIMIT", 1)
@@ -190,11 +193,11 @@ class TestDegradedPaths:
 
 
 class TestNativeBucket:
-    """The compiled C kernel takes whole ``add`` buckets when built."""
+    """The compiled C kernel takes whole buckets — all kinds — when built."""
 
     pytestmark = pytest.mark.skipif(
         not native_available(),
-        reason="native backend unavailable; add buckets stay on numpy",
+        reason="native backend unavailable; buckets stay on numpy",
     )
 
     def test_add_bucket_runs_native_and_identical(self, tiny_trace):
@@ -212,6 +215,41 @@ class TestNativeBucket:
         assert stats.native_cells == stats.fused_cells == len(specs)
         assert stats.dispatches == 1
         assert all(r.engine == "native" for r in results)
+
+    def test_lazy1_and_partial_buckets_run_native_and_identical(
+        self, tiny_trace
+    ):
+        specs = ["gskew:1x128:h5:lazy", "gskew:1x64:h4:lazy",
+                 "gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
+        expected, expected_states = _per_cell(specs, tiny_trace)
+        predictors = [make_predictor(s) for s in specs]
+        stats = GridStats()
+        results = simulate_grid(
+            predictors, tiny_trace, labels=specs, stats=stats
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == expected_states
+        assert stats.native_cells == len(specs)
+        assert all(r.engine == "native" for r in results)
+
+    def test_native_round_cap_bailout_recovers_per_cell(
+        self, tiny_trace, monkeypatch
+    ):
+        """A native PARTIAL cell that hits the C round cap is excluded
+        from the writeback and re-runs per cell, bit-identically."""
+        import repro.sim.native as native_module
+
+        specs = ["gskew:3x128:h5:partial", "gskew:3x256:h5:partial"]
+        expected, expected_states = _per_cell(specs, tiny_trace)
+        monkeypatch.setattr(native_module, "_PARTIAL_ROUND_LIMIT", 0)
+        predictors = [make_predictor(s) for s in specs]
+        stats = GridStats()
+        results = simulate_grid(
+            predictors, tiny_trace, labels=specs, stats=stats
+        )
+        assert results == expected
+        assert [_full_state(p) for p in predictors] == expected_states
+        assert stats.fixpoint_bailouts == len(specs)
 
     def test_native_lifts_the_fusion_gate(self, tiny_trace, monkeypatch):
         """Past _FUSE_MAX_EVENTS the numpy bucket falls back per cell;
