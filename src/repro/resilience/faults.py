@@ -45,6 +45,12 @@ fires at the same points every run.  The injectable sites:
                        :mod:`repro.sim.parallel`; the group's grid call
                        raises before touching predictor state and the
                        runner recovers it per cell
+``serving-shard``      counted per shard micro-batch flush in
+                       :meth:`repro.serving.shard.Shard.flush`; the shard
+                       crashes after the engine ran but *before* the
+                       batch commits, is rolled back to its pre-batch
+                       :class:`~repro.sim.state.PredictorState` snapshot
+                       and replayed — byte-identical to fault-free
 =====================  ====================================================
 
 The active plan is re-read from the environment whenever the variable's
@@ -84,6 +90,7 @@ SITES = frozenset(
         "kernel-scan",
         "kernel-vectorized",
         "kernel-scan-grid",
+        "serving-shard",
     }
 )
 

@@ -14,13 +14,13 @@ path is behaviourally identical (asserted by a test).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.predictors.base import BranchPredictor
 from repro.sim.metrics import SimulationResult
 from repro.traces.trace import Trace
 
-__all__ = ["simulate"]
+__all__ = ["simulate", "simulate_stream"]
 
 
 def simulate(
@@ -61,6 +61,41 @@ def simulate(
     return SimulationResult(
         predictor=label or predictor.name,
         trace=trace.name,
+        conditional_branches=conditional_branches,
+        mispredictions=mispredictions,
+        storage_bits=predictor.storage_bits,
+        history_bits=getattr(predictor, "history_bits", None),
+        engine="generic",
+    )
+
+
+def simulate_stream(
+    predictor: BranchPredictor,
+    batches: Iterable[Trace],
+    label: Optional[str] = None,
+) -> SimulationResult:
+    """Run a *sequence* of trace batches through one warm predictor.
+
+    The reference semantics of the serving layer: state (counters, bias
+    latches, the history register) carries across batch boundaries, so
+    the totals — and the predictor's final state — are identical to
+    simulating the concatenated trace in one call.  The fast tiers honor
+    warm state too (they read the live history register as the stream
+    seed), so :func:`repro.sim.vectorized.simulate_fast` may replace
+    :func:`simulate` here batch for batch, bit-identically; the
+    differential serving suite asserts exactly that.
+    """
+    conditional_branches = 0
+    mispredictions = 0
+    name = None
+    for batch in batches:
+        result = simulate(predictor, batch, label=label)
+        conditional_branches += result.conditional_branches
+        mispredictions += result.mispredictions
+        name = result.trace if name is None else name
+    return SimulationResult(
+        predictor=label or predictor.name,
+        trace=name or "<empty stream>",
         conditional_branches=conditional_branches,
         mispredictions=mispredictions,
         storage_bits=predictor.storage_bits,

@@ -799,6 +799,8 @@ def simulate_native(
             "use simulate_fast() or the generic engine"
         )
     timer = NULL_STAGE_TIMER if stage_timer is None else stage_timer
+    history = getattr(predictor, "history", None)
+    seed = history.value if history is not None else 0
 
     with timer.stage("precompute"):
         outcomes = _cond_takens(trace)
@@ -849,10 +851,9 @@ def simulate_native(
                         b * entries : (b + 1) * entries
                     ].tolist()
 
-    history = getattr(predictor, "history", None)
     if history is not None and history.bits:
         with timer.stage("reduce"):
-            history.value = _final_history(trace.takens, history.bits)
+            history.value = _final_history(trace.takens, history.bits, seed)
 
     return SimulationResult(
         predictor=label or predictor.name,

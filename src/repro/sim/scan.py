@@ -1268,7 +1268,9 @@ def _scan_agree(
     n = len(outcomes)
     with timer.stage("precompute"):
         words = _cond_words(trace)
-        hist = _cond_history(trace, predictor.history_bits)
+        hist = _cond_history(
+            trace, predictor.history_bits, predictor.history.value
+        )
         pht_keys = _gshare_stream(
             words, hist, predictor.index_bits, predictor.history_bits
         ).astype(np.uint32)
@@ -1423,6 +1425,8 @@ def simulate_scan(
         )
     timer = NULL_STAGE_TIMER if stage_timer is None else stage_timer
     kind = type(predictor)
+    history = getattr(predictor, "history", None)
+    seed = history.value if history is not None else 0
 
     with timer.stage("precompute"):
         outcomes = _cond_takens(trace)
@@ -1476,10 +1480,9 @@ def simulate_scan(
                         predictor, streams, outcomes.tolist(), warmup
                     )
 
-    history = getattr(predictor, "history", None)
     if history is not None and history.bits:
         with timer.stage("reduce"):
-            history.value = _final_history(trace.takens, history.bits)
+            history.value = _final_history(trace.takens, history.bits, seed)
 
     return SimulationResult(
         predictor=label or predictor.name,

@@ -867,15 +867,20 @@ def simulate_grid(
     with timer.stage("reduce"):
         for counters, finals in writebacks:
             counters.values[:] = finals.tolist()
-        history_cache: Dict[int, int] = {}
+        history_cache: Dict[Tuple[int, int], int] = {}
         for index, misses in misses_by_index.items():
             predictor = predictors[index]
             history = getattr(predictor, "history", None)
             if history is not None and history.bits:
-                bits = history.bits
-                if bits not in history_cache:
-                    history_cache[bits] = _final_history(trace.takens, bits)
-                history.value = history_cache[bits]
+                # history.value is still the pre-run seed here (nothing
+                # has touched the register since the plan pass), so warm
+                # predictors fold it exactly like the per-cell tiers.
+                key = (history.bits, history.value)
+                if key not in history_cache:
+                    history_cache[key] = _final_history(
+                        trace.takens, history.bits, history.value
+                    )
+                history.value = history_cache[key]
             results[index] = SimulationResult(
                 predictor=labels[index] or predictor.name,
                 trace=trace.name,

@@ -54,6 +54,7 @@ from repro.resilience.faults import maybe_fail
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.profile import NULL_STAGE_TIMER, StageTimer
+from repro.sim.state import PredictorState
 from repro.traces.trace import Trace
 from repro.util import envvars
 
@@ -125,23 +126,35 @@ def _cond_takens(trace: Trace) -> np.ndarray:
     )
 
 
-def _cond_history(trace: Trace, bits: int) -> np.ndarray:
+def _cond_history(trace: Trace, bits: int, seed: int = 0) -> np.ndarray:
     """Global-history stream at the conditional branches, memoised per
-    ``bits`` (sweeps revisit the same history lengths constantly)."""
+    ``bits`` (sweeps revisit the same history lengths constantly).
+
+    ``seed`` is the register's contents at the first event — nonzero when
+    a trace resumes mid-stream (serving batches, snapshot/restore).  The
+    cold-start key keeps its historical shape so cached sweep columns
+    stay valid; warm-start streams memoise under their own key.
+    """
+    key = ("cond_history", bits) if not seed else ("cond_history", bits, seed)
     return trace.derived_column(
-        ("cond_history", bits),
-        lambda: history_stream(trace.takens, bits)[_cond_mask(trace)],
+        key,
+        lambda: history_stream(trace.takens, bits, seed)[_cond_mask(trace)],
     )
 
 
-def history_stream(takens: np.ndarray, bits: int) -> np.ndarray:
+def history_stream(
+    takens: np.ndarray, bits: int, seed: int = 0
+) -> np.ndarray:
     """Global-history register value *before* each event, as uint64.
 
     ``out[i]`` holds the low ``bits`` outcomes of events ``i-1, i-2, ...``
     with the most recent in the least-significant bit — exactly the
     register a :class:`~repro.core.history.GlobalHistory` predictor sees
     when event ``i`` is predicted (the paper shifts unconditional
-    transfers in too, so every event contributes a bit).
+    transfers in too, so every event contributes a bit).  ``seed`` fills
+    the bit positions older than the trace itself: before event ``i`` the
+    register holds ``((seed << i) | outcomes[:i]) & mask``, so a resumed
+    stream sees exactly the register it left off with.
     """
     if not 0 <= bits <= _MAX_HISTORY_BITS:
         raise ValueError(f"history bits must be in [0, {_MAX_HISTORY_BITS}]")
@@ -152,6 +165,14 @@ def history_stream(takens: np.ndarray, bits: int) -> np.ndarray:
     t = takens.astype(np.uint64)
     for age in range(1, min(bits, n) + 1):
         out[age:] |= t[: n - age] << np.uint64(age - 1)
+    if seed:
+        mask = (1 << bits) - 1
+        if not 0 <= seed <= mask:
+            raise ValueError(f"history seed must fit {bits} bits")
+        # Python-int shifts: (seed << i) can exceed 64 bits near the top
+        # of the register, so the fold stays exact outside numpy.
+        for i in range(min(bits, n)):
+            out[i] |= np.uint64((seed << i) & mask)
     return out
 
 
@@ -186,7 +207,7 @@ def _shuffle_inverse(z: np.ndarray, n: int) -> np.ndarray:
 
 
 def _skew_halves(
-    trace: Trace, n: int, history_bits: int
+    trace: Trace, n: int, history_bits: int, seed: int = 0
 ) -> "tuple[np.ndarray, np.ndarray]":
     """The two n-bit halves ``v1, v2`` of the skewing information vector.
 
@@ -201,7 +222,7 @@ def _skew_halves(
 
     def compute() -> np.ndarray:
         words = _cond_words(trace)
-        hist = _cond_history(trace, history_bits)
+        hist = _cond_history(trace, history_bits, seed)
         mask = np.uint64((1 << n) - 1)
         vector = (words << np.uint64(history_bits)) | hist
         v1 = vector & mask
@@ -210,12 +231,17 @@ def _skew_halves(
             return np.stack([v1, v2]).astype(np.uint32)
         return np.stack([v1, v2])  # pragma: no cover — bank > 2**32 entries
 
-    pair = trace.derived_column(("skew_halves", n, history_bits), compute)
+    key = (
+        ("skew_halves", n, history_bits)
+        if not seed
+        else ("skew_halves", n, history_bits, seed)
+    )
+    pair = trace.derived_column(key, compute)
     return pair[0], pair[1]
 
 
 def _skew_streams(
-    trace: Trace, n: int, history_bits: int, banks: int
+    trace: Trace, n: int, history_bits: int, banks: int, seed: int = 0
 ) -> List[np.ndarray]:
     """Index streams for the paper's skewing family (1, 3 or 5 banks).
 
@@ -227,10 +253,10 @@ def _skew_streams(
     (rows are returned as read-only-by-convention views).
     """
     if banks == 1:
-        return [_skew_halves(trace, n, history_bits)[0]]
+        return [_skew_halves(trace, n, history_bits, seed)[0]]
 
     def compute() -> np.ndarray:
-        v1, v2 = _skew_halves(trace, n, history_bits)
+        v1, v2 = _skew_halves(trace, n, history_bits, seed)
         h1 = _shuffle(v1, n)
         g2 = _shuffle_inverse(v2, n)
         f0 = h1 ^ g2 ^ v2
@@ -244,9 +270,12 @@ def _skew_streams(
         f4 = _shuffle(h1, n) ^ _shuffle_inverse(g2, n) ^ v2
         return np.stack([f0, f1, f2, f3, f4])
 
-    family = trace.derived_column(
-        ("skew_family", n, history_bits, banks), compute
+    key = (
+        ("skew_family", n, history_bits, banks)
+        if not seed
+        else ("skew_family", n, history_bits, banks, seed)
     )
+    family = trace.derived_column(key, compute)
     return list(family)
 
 
@@ -307,7 +336,10 @@ def _index_streams(
 
     Returns None when the predictor's index functions aren't expressible
     in closed form over the trace (the fallback condition for
-    :func:`simulate_fast`).
+    :func:`simulate_fast`).  The predictor's *current* history-register
+    contents seed the history stream, so a warm predictor (serving
+    batches, restored snapshots) indexes exactly as the generic engine
+    would — cold starts keep the seedless memoised columns.
     """
     kind = type(predictor)
     words = _cond_words(trace)
@@ -319,7 +351,9 @@ def _index_streams(
     history_bits = getattr(predictor, "history_bits", None)
     if history_bits is None or history_bits > _MAX_HISTORY_BITS:
         return None
-    hist = _cond_history(trace, history_bits)
+    seed = getattr(predictor, "history", None)
+    seed = 0 if seed is None else seed.value
+    hist = _cond_history(trace, history_bits, seed)
 
     if kind is GsharePredictor:
         return [_gshare_stream(words, hist, predictor.index_bits, history_bits)]
@@ -327,7 +361,7 @@ def _index_streams(
         return [_gselect_stream(words, hist, predictor.index_bits, history_bits)]
     if kind is EnhancedSkewedPredictor:
         n = predictor.bank_index_bits
-        _, f1, f2 = _skew_streams(trace, n, history_bits, banks=3)
+        _, f1, f2 = _skew_streams(trace, n, history_bits, 3, seed)
         return [_egskew_bank0_stream(words, hist, predictor), f1, f2]
     if kind is SkewedPredictor:
         banks = len(predictor.banks)
@@ -336,7 +370,7 @@ def _index_streams(
         if not getattr(predictor, "default_skew_family", False):
             return None
         n = predictor.bank_index_bits
-        return _skew_streams(trace, n, history_bits, banks)
+        return _skew_streams(trace, n, history_bits, banks, seed)
     return None
 
 
@@ -548,9 +582,13 @@ def _loop_voted(
 # -- the engine ------------------------------------------------------------
 
 
-def _final_history(takens: np.ndarray, bits: int) -> int:
-    """Register contents after the whole trace has shifted through."""
-    value = 0
+def _final_history(takens: np.ndarray, bits: int, seed: int = 0) -> int:
+    """Register contents after the whole trace has shifted through.
+
+    ``seed`` is the register's value *before* the trace; it only matters
+    when the trace is shorter than the register (mid-stream batches).
+    """
+    value = seed
     for t in takens[-bits:] if bits else ():
         value = (value << 1) | int(t)
     return value & ((1 << bits) - 1 if bits else 0)
@@ -616,6 +654,8 @@ def simulate_vectorized(
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
     timer = NULL_STAGE_TIMER if stage_timer is None else stage_timer
+    history = getattr(predictor, "history", None)
+    seed = history.value if history is not None else 0
     with timer.stage("precompute"):
         streams = _index_streams(predictor, trace)
         if streams is None:
@@ -629,9 +669,8 @@ def simulate_vectorized(
             predictor, streams, outcomes, warmup
         )
 
-    history = getattr(predictor, "history", None)
     if history is not None and history.bits:
-        history.value = _final_history(trace.takens, history.bits)
+        history.value = _final_history(trace.takens, history.bits, seed)
 
     return SimulationResult(
         predictor=label or predictor.name,
@@ -644,42 +683,21 @@ def simulate_vectorized(
     )
 
 
-def _snapshot_state(predictor: BranchPredictor) -> dict:
-    """Copy the mutable state a fast engine could dirty before failing.
+def _snapshot_state(predictor: BranchPredictor) -> PredictorState:
+    """Capture the mutable state a fast engine could dirty before failing.
 
-    Covers every family the fast tiers dispatch (bank/banks counter
-    arrays, the agree PHT + bias latches, the history register) with
-    flat ``list`` copies — cheap even for million-entry tables, unlike
-    a deepcopy of the predictor object.
+    The PR 5 flat-list snapshots grew into :class:`PredictorState`
+    (:mod:`repro.sim.state`), which covers *every* family — not just the
+    fast-tier ones — and serializes; this wrapper survives as the
+    rollback hook so :func:`simulate_fast` and the recovery tests share
+    one capture path.
     """
-    state: dict = {}
-    if hasattr(predictor, "banks"):
-        state["banks"] = [list(bank.counters.values) for bank in predictor.banks]
-    if hasattr(predictor, "bank"):
-        state["bank"] = list(predictor.bank.counters.values)
-    if hasattr(predictor, "pht"):
-        state["pht"] = list(predictor.pht.counters.values)
-    if hasattr(predictor, "_bias"):
-        state["bias"] = list(predictor._bias)
-    history = getattr(predictor, "history", None)
-    if history is not None:
-        state["history"] = history.value
-    return state
+    return PredictorState.capture(predictor)
 
 
-def _restore_state(predictor: BranchPredictor, state: dict) -> None:
-    """Write a :func:`_snapshot_state` copy back into the predictor."""
-    if "banks" in state:
-        for bank, values in zip(predictor.banks, state["banks"]):
-            bank.counters.values[:] = values
-    if "bank" in state:
-        predictor.bank.counters.values[:] = state["bank"]
-    if "pht" in state:
-        predictor.pht.counters.values[:] = state["pht"]
-    if "bias" in state:
-        predictor._bias[:] = state["bias"]
-    if "history" in state:
-        predictor.history.value = state["history"]
+def _restore_state(predictor: BranchPredictor, state: PredictorState) -> None:
+    """Write a :func:`_snapshot_state` capture back into the predictor."""
+    state.restore(predictor)
 
 
 def simulate_fast(

@@ -218,6 +218,41 @@ class Trace:
             seed=self.seed,
         )
 
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A new trace over events ``[start, stop)`` (views, no copies)."""
+        return Trace(
+            self.pcs[start:stop],
+            self.takens[start:stop],
+            self.conditionals[start:stop],
+            self.targets[start:stop],
+            name=f"{self.name}[{start}:{stop}]",
+            seed=self.seed,
+        )
+
+    def stride_split(self, parts: int) -> List["Trace"]:
+        """Deal the trace round-robin into ``parts`` interleaved sessions.
+
+        Session ``i`` gets events ``i, i+parts, i+2*parts, ...`` — the
+        load generator's model of many clients each replaying a coherent
+        sub-stream of one workload.  Each part keeps the branch-locality
+        structure of the original (same PCs, same outcome correlations at
+        ``parts``-fold dilution), so per-tenant predictor behaviour stays
+        realistic rather than random.
+        """
+        if parts <= 0:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        return [
+            Trace(
+                self.pcs[i::parts],
+                self.takens[i::parts],
+                self.conditionals[i::parts],
+                self.targets[i::parts],
+                name=f"{self.name}%{parts}[{i}]",
+                seed=self.seed,
+            )
+            for i in range(parts)
+        ]
+
     # -- summary -----------------------------------------------------------
 
     @property

@@ -40,6 +40,9 @@ __all__ = [
     "NATIVE",
     "NATIVE_CACHE",
     "NATIVE_THREADS",
+    "SERVING_BATCH",
+    "SERVING_LINGER_MS",
+    "SERVING_SHARDS",
     "TRACE_CACHE",
     "by_name",
     "markdown_table",
@@ -164,6 +167,33 @@ NATIVE_THREADS = EnvVar(
     "serial path.  Results are byte-identical at every setting.",
 )
 
+SERVING_BATCH = EnvVar(
+    "REPRO_SERVING_BATCH",
+    "int",
+    "256",
+    "Serving-layer micro-batch size: a shard flushes a tenant's pending "
+    "events through the fast engines once this many accumulate.  Results "
+    "are identical at every setting (flush boundaries don't change "
+    "predictions); only latency/throughput move.",
+)
+
+SERVING_LINGER_MS = EnvVar(
+    "REPRO_SERVING_LINGER_MS",
+    "float",
+    "5",
+    "How long (milliseconds) the serving layer lets a partial batch "
+    "linger before flushing it anyway; `0`/`off`/`none`/`disabled` "
+    "flushes only on full batches and explicit syncs.",
+)
+
+SERVING_SHARDS = EnvVar(
+    "REPRO_SERVING_SHARDS",
+    "int",
+    "(CPU count, min 4)",
+    "Number of state shards the serving layer hashes tenant sessions "
+    "across; unset sizes the ring to the available CPUs (at least 4).",
+)
+
 TRACE_CACHE = EnvVar(
     "REPRO_TRACE_CACHE",
     "path",
@@ -184,6 +214,9 @@ REGISTRY: Tuple[EnvVar, ...] = tuple(
             NATIVE,
             NATIVE_CACHE,
             NATIVE_THREADS,
+            SERVING_BATCH,
+            SERVING_LINGER_MS,
+            SERVING_SHARDS,
             TRACE_CACHE,
         ),
         key=lambda var: var.name,

@@ -58,6 +58,55 @@ GOLDEN_SPECS = [
     "gskew:1x256:h6:lazy",
 ]
 
+#: The serving tier's pinned replay: three tenants (one per workload)
+#: interleaved through one server, far-from-aligned chunk/batch sizes so
+#: flush boundaries fall mid-stream everywhere.
+SERVING_WORKLOADS = ("groff", "gs", "mpeg_play")
+SERVING_SPEC = "gshare:512:h8"
+SERVING_CHUNK = 97
+SERVING_BATCH = 128
+
+
+def _measure_serving() -> dict:
+    """Per-tenant counts from the 3-tenant interleaved replay."""
+    from repro.serving.server import PredictionService
+
+    service = PredictionService(shards=2, batch_size=SERVING_BATCH)
+    sessions = {
+        workload: ibs_trace(workload, GOLDEN_SCALE)
+        for workload in SERVING_WORKLOADS
+    }
+    for workload in sessions:
+        service.handle(
+            {"op": "open", "session": workload, "spec": SERVING_SPEC}
+        )
+    cursors = {workload: 0 for workload in sessions}
+    while any(cursors[w] < len(t) for w, t in sessions.items()):
+        for workload, trace in sessions.items():
+            lo = cursors[workload]
+            if lo >= len(trace):
+                continue
+            hi = min(lo + SERVING_CHUNK, len(trace))
+            events = [
+                [int(trace.pcs[i]), int(trace.takens[i]),
+                 int(trace.conditionals[i])]
+                for i in range(lo, hi)
+            ]
+            cursors[workload] = hi
+            response = service.handle(
+                {"op": "events", "session": workload, "events": events}
+            )
+            assert response["ok"], response
+    out = {}
+    for workload in sessions:
+        stats = service.handle({"op": "close", "session": workload})
+        assert stats["ok"], stats
+        out[workload] = {
+            "branches": stats["conditional_branches"],
+            "misses": stats["mispredictions"],
+        }
+    return out
+
 
 def _simulate_grid_pair(predictor, trace, label):
     """The fused sweep-grid tier, forced through a real fused bucket.
@@ -134,6 +183,12 @@ def test_update_golden(request):
             }
             for workload in IBS_BENCHMARKS
         },
+        "serving": {
+            "spec": SERVING_SPEC,
+            "chunk": SERVING_CHUNK,
+            "batch": SERVING_BATCH,
+            "tenants": _measure_serving(),
+        },
     }
     GOLDEN_PATH.write_text(
         json.dumps(golden, indent=2, sort_keys=True) + "\n",
@@ -143,10 +198,16 @@ def test_update_golden(request):
 
 def test_golden_covers_exactly_the_matrix():
     golden = _load_golden()
+    assert sorted(golden) == ["scale", "serving", "workloads"]
     assert golden["scale"] == GOLDEN_SCALE
     assert sorted(golden["workloads"]) == sorted(IBS_BENCHMARKS)
     for per_spec in golden["workloads"].values():
         assert sorted(per_spec) == sorted(GOLDEN_SPECS)
+    serving = golden["serving"]
+    assert serving["spec"] == SERVING_SPEC
+    assert serving["chunk"] == SERVING_CHUNK
+    assert serving["batch"] == SERVING_BATCH
+    assert sorted(serving["tenants"]) == sorted(SERVING_WORKLOADS)
 
 
 @pytest.mark.parametrize("engine_name", sorted(ENGINES))
@@ -159,4 +220,21 @@ def test_rates_match_golden(workload, spec, engine_name):
     assert actual == expected, (
         f"{workload}/{spec} on the {engine_name} engine drifted from "
         f"golden; if intentional, refresh with --update-golden"
+    )
+
+
+def test_serving_matches_golden():
+    """The serving tier: pinned per-tenant counts for the 3-tenant replay.
+
+    Interleaved multi-tenant serving must not only agree with serial
+    runs (the differential suites prove that); its absolute per-tenant
+    numbers are pinned here so drift anywhere under the serving stack —
+    sharding, batching, the state carry — shows up as a golden diff.
+    """
+    golden = _load_golden()
+    expected = golden["serving"]["tenants"]
+    actual = _measure_serving()
+    assert actual == expected, (
+        "per-tenant serving counts drifted from golden; if intentional, "
+        "refresh with --update-golden"
     )

@@ -151,4 +151,5 @@ class TestInjectedFault:
             "kernel-scan",
             "kernel-vectorized",
             "kernel-scan-grid",
+            "serving-shard",
         }

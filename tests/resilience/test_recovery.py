@@ -13,10 +13,13 @@ import warnings
 
 import pytest
 
+from repro.resilience.faults import InjectedFault, reset_faults
+from repro.serving.shard import Shard
 from repro.sim.config import make_predictor
 from repro.sim.engine import simulate
 from repro.sim.native import native_available
 from repro.sim.parallel import run_cells, recovery_stats
+from repro.sim.state import PredictorState
 from repro.sim.vectorized import _snapshot_state, simulate_fast
 
 #: One spec per dispatch tier: native/scan-expressible, vectorized-only
@@ -115,6 +118,104 @@ class TestKernelDegradation:
                 make_predictor(SCAN_SPEC), tiny_trace, label=SCAN_SPEC
             )
         assert clean == expected
+
+
+class TestServingShardRecovery:
+    """The ``serving-shard`` site: crash-mid-batch, rollback, replay."""
+
+    SPEC = "gshare:128:h6"
+
+    def _feed(self, shard, session, trace):
+        for i in range(len(trace)):
+            if shard.push(
+                session,
+                int(trace.pcs[i]),
+                bool(trace.takens[i]),
+                bool(trace.conditionals[i]),
+            ):
+                shard.flush(session)
+        shard.flush(session)
+
+    def _clean_serial(self, trace):
+        predictor = make_predictor(self.SPEC)
+        result = simulate_fast(predictor, trace, label=self.SPEC)
+        return result, PredictorState.capture(predictor).digest()
+
+    def test_crash_mid_batch_replays_byte_identically(
+        self, fault_env, tiny_trace
+    ):
+        """One crash after the engine ran but before commit: the batch is
+        rolled back to its pre-batch snapshot and replayed, and the whole
+        stream still matches a fault-free serial run exactly."""
+        expected, expected_digest = self._clean_serial(tiny_trace)
+        fault_env("serving-shard@2")  # second flush dies mid-batch
+        shard = Shard(0, batch_size=37)
+        tenant = shard.open("s", self.SPEC)
+        self._feed(shard, "s", tiny_trace)
+        assert shard.replays == 1
+        assert tenant.conditional_branches == expected.conditional_branches
+        assert tenant.mispredictions == expected.mispredictions
+        assert tenant.pending == 0
+        assert (
+            PredictorState.capture(tenant.predictor).digest()
+            == expected_digest
+        )
+
+    def test_exhausted_retries_requeue_and_raise(self, fault_env, tiny_trace):
+        """A persistently-dying shard surfaces the fault — with the batch
+        back in the pending buffer and the predictor rolled back, so no
+        event is lost and no partial batch is committed."""
+        expected, expected_digest = self._clean_serial(tiny_trace)
+        fault_env("serving-shard@1-")  # every flush arrival fails
+        shard = Shard(0, batch_size=16)
+        tenant = shard.open("s", self.SPEC)
+        pre_digest = PredictorState.capture(tenant.predictor).digest()
+        with pytest.raises(InjectedFault):
+            self._feed(shard, "s", tiny_trace)
+        assert tenant.pending == 16  # the whole batch, requeued in order
+        assert tenant.conditional_branches == 0
+        assert (
+            PredictorState.capture(tenant.predictor).digest() == pre_digest
+        )
+
+        # Once the fault clears, the requeued stream drains to the exact
+        # fault-free totals: crash recovery changed nothing observable.
+        fault_env("")
+        reset_faults()
+        offset = tenant.events
+        for i in range(offset, len(tiny_trace)):
+            if shard.push(
+                "s",
+                int(tiny_trace.pcs[i]),
+                bool(tiny_trace.takens[i]),
+                bool(tiny_trace.conditionals[i]),
+            ):
+                shard.flush("s")
+        shard.flush("s")
+        assert tenant.conditional_branches == expected.conditional_branches
+        assert tenant.mispredictions == expected.mispredictions
+        assert (
+            PredictorState.capture(tenant.predictor).digest()
+            == expected_digest
+        )
+
+    def test_replay_counter_visible_in_ring_stats(self, fault_env):
+        from repro.serving.server import PredictionService
+
+        fault_env("serving-shard@1")
+        service = PredictionService(shards=1, batch_size=4)
+        service.handle({"op": "open", "session": "s", "spec": "bimodal:64"})
+        service.handle(
+            {
+                "op": "events",
+                "session": "s",
+                "events": [[4 * i, i % 2] for i in range(4)],
+            }
+        )
+        stats = service.handle({"op": "stats"})
+        assert stats["ok"]
+        assert stats["replays"] == 1
+        assert stats["flushes"] == 1
 
 
 @pytest.mark.slow

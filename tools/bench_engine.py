@@ -31,7 +31,15 @@ Times, on one IBS-clone trace:
    stats.  The grid runs at a capped trace scale so the fused kernel
    is in its operating regime (above the cache crossover the add
    buckets gate back to per-cell dispatch by design);
-6. **native** — the compiled C kernel (``repro.sim.native``) vs the
+6. **serving** — the multi-tenant serving layer under load:
+   ``repro.serving.loadgen`` replays every IBS workload as several
+   interleaved sessions through one in-process
+   :class:`~repro.serving.server.PredictionService`, reporting p50/p99
+   micro-batch request latency and sustained branches/s, and verifying
+   every tenant's counts and final predictor state against a serial
+   ``simulate_fast`` run of the same sub-trace (``parity_gaps`` must
+   stay empty — interleaving and batching are required to be invisible);
+7. **native** — the compiled C kernel (``repro.sim.native``) vs the
    numpy scan on the scan section's specs plus the LAZY/PARTIAL specs
    the C map-code walks now cover, with per-stage wall-clock
    (precompute / bucket or sort / scan / reduce), the grouping
@@ -53,8 +61,9 @@ Run:  python tools/bench_engine.py [--scale 0.4] [--jobs 1 2 4]
 
 ``--quick`` is the CI smoke lane: an R004/R006 parity plus
 R007/R008/R009 width-flow/C-ABI/env-contract pre-flight, a
-small fused-grid equivalence-and-timing pass and a native-vs-scan
-bit-identity sweep, exiting non-zero on any parity gap or engine
+small fused-grid equivalence-and-timing pass, a native-vs-scan
+bit-identity sweep, and a small serving loadgen replay that fails on
+any tenant parity gap, exiting non-zero on any parity gap or engine
 mismatch (the native check green-skips when the backend is
 unavailable), and leaving ``BENCH_engine.json`` untouched unless
 ``--out`` is given explicitly.
@@ -89,6 +98,7 @@ from repro.sim.native import (
 )
 from repro.sim.parallel import run_cells
 from repro.sim.profile import StageTimer
+from repro.serving.loadgen import run_loadgen
 from repro.sim.scan import scan_supports, simulate_scan
 from repro.sim.scan_grid import GridStats, simulate_spec_grid
 from repro.sim.vectorized import simulate_fast, simulate_vectorized
@@ -432,6 +442,63 @@ def bench_native(trace, repeat):
     return section
 
 
+#: Serving loadgen shape: every IBS workload split into this many
+#: interleaved sessions, replayed in wire-sized chunks against the
+#: documented default micro-batch.  Scale is capped so the section stays
+#: seconds, not minutes, on a 1-CPU box — latency percentiles come from
+#: thousands of request samples within one replay, not best-of-N.
+SERVING_SPEC = "gshare:4k:h12"
+SERVING_SESSIONS_PER_WORKLOAD = 4
+SERVING_CHUNK = 64
+SERVING_SCALE_CAP = 0.1
+
+
+def bench_serving(scale):
+    """Multi-tenant serving under load: latency, throughput, parity."""
+    scale = min(scale, SERVING_SCALE_CAP)
+    report = run_loadgen(
+        spec=SERVING_SPEC,
+        scale=scale,
+        sessions_per_workload=SERVING_SESSIONS_PER_WORKLOAD,
+        chunk=SERVING_CHUNK,
+        verify=True,
+    )
+    print(
+        f"  {report['sessions']} sessions x{scale}: "
+        f"{report['events']} events in {report['elapsed_s']:.3f}s  "
+        f"{report['branches_per_s'] / 1e3:7.1f}k br/s  "
+        f"p50 {report['p50_batch_latency_s'] * 1e6:6.1f}us  "
+        f"p99 {report['p99_batch_latency_s'] * 1e6:6.1f}us  "
+        f"{'ok' if not report['parity_gaps'] else 'PARITY GAPS'}"
+    )
+    for gap in report["parity_gaps"]:
+        print(f"  PARITY GAP {gap}")
+    report["identical"] = not report["parity_gaps"]
+    return report
+
+
+def quick_serving_check():
+    """CI smoke: a tiny interleaved replay, every tenant verified."""
+    report = run_loadgen(
+        spec="gshare:512:h8",
+        scale=0.02,
+        sessions_per_workload=2,
+        chunk=32,
+        verify=True,
+    )
+    report["identical"] = not report["parity_gaps"]
+    if report["identical"]:
+        print(
+            f"  ok: {report['sessions']} interleaved sessions "
+            f"bit-identical to serial ({report['events']} events, "
+            f"{report['flushes']} flushes)"
+        )
+    else:
+        for gap in report["parity_gaps"]:
+            print(f"  PARITY GAP {gap}")
+    return report
+
+
 def quick_native_check(benchmark):
     """CI smoke: native results must be bit-identical to the scan tier.
 
@@ -761,6 +828,8 @@ def main() -> int:
         sweep_grid = bench_sweep_grid(args.benchmark, 0.05, repeat=1)
         print("native smoke (native vs scan bit-identity):")
         native_smoke = quick_native_check(args.benchmark)
+        print("serving smoke (interleaved loadgen vs serial):")
+        serving_smoke = quick_serving_check()
         report = {
             "generated": datetime.now(timezone.utc).isoformat(
                 timespec="seconds"
@@ -770,6 +839,7 @@ def main() -> int:
             "engine_parity_gaps": parity_gaps,
             "sweep_grid": sweep_grid,
             "native": native_smoke,
+            "serving": serving_smoke,
         }
         if args.out is not None:
             args.out.write_text(
@@ -782,10 +852,13 @@ def main() -> int:
             print("ERROR: fused grid disagrees with per-cell engines")
         if not native_smoke["identical"]:
             print("ERROR: native kernel disagrees with the scan tier")
+        if not serving_smoke["identical"]:
+            print("ERROR: interleaved serving disagrees with serial runs")
         ok = (
             not parity_gaps
             and sweep_grid["identical"]
             and native_smoke["identical"]
+            and serving_smoke["identical"]
         )
         return 0 if ok else 1
 
@@ -807,6 +880,8 @@ def main() -> int:
     aliasing = bench_aliasing(trace, args.repeat)
     print("sweep_grid (fused vs per-cell scan vs vectorized):")
     sweep_grid = bench_sweep_grid(args.benchmark, args.scale, args.repeat)
+    print("serving (interleaved multi-tenant loadgen):")
+    serving = bench_serving(args.scale)
     print("native (C kernel vs numpy scan):")
     native = bench_native(trace, args.repeat)
 
@@ -823,6 +898,7 @@ def main() -> int:
         "sweep": sweep,
         "aliasing": aliasing,
         "sweep_grid": sweep_grid,
+        "serving": serving,
         "native": native,
     }
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -835,6 +911,7 @@ def main() -> int:
         and sweep["identical"]
         and aliasing["identical"]
         and sweep_grid["identical"]
+        and serving["identical"]
         and all(
             row.get("identical", True) for row in native["rows"]
         )  # skipped rows and the no-backend header stay green
